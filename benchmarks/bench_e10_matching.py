@@ -1,0 +1,72 @@
+"""E10 — Section 1.1: the maximal (integral) matching landscape.
+
+Paper context: deterministic maximal matching runs in ``O(Delta + log* n)``
+(Panconesi-Rizzi) and the paper's open question asks whether the ``Delta``
+term is necessary; randomised algorithms achieve ``O(log n)``.  Measured:
+round counts of both against Delta and n, plus Luby MIS as the randomised
+symmetry-breaking core.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.coloring.mis import luby_mis, validate_mis
+from repro.matching.integral import (
+    panconesi_rizzi_matching,
+    randomized_matching,
+    validate_maximal_matching,
+)
+
+
+@pytest.mark.parametrize("delta", [2, 4, 6, 8, 12])
+def test_pr_rounds_vs_delta(benchmark, record, delta):
+    n = 40 if (40 * delta) % 2 == 0 else 41
+    g = nx.random_regular_graph(delta, n, seed=1)
+    matching, rounds = benchmark.pedantic(
+        lambda: panconesi_rizzi_matching(g), rounds=1, iterations=1
+    )
+    assert validate_maximal_matching(g, matching)
+    record(
+        "E10 Panconesi-Rizzi rounds vs Delta (O(Delta + log* n))",
+        delta=delta,
+        n=n,
+        pr_rounds=rounds,
+    )
+
+
+@pytest.mark.parametrize("n", [32, 128, 512])
+def test_pr_and_randomized_vs_n(benchmark, record, n):
+    delta = 4
+    g = nx.random_regular_graph(delta, n, seed=2)
+    matching, pr_rounds = benchmark.pedantic(
+        lambda: panconesi_rizzi_matching(g), rounds=1, iterations=1
+    )
+    assert validate_maximal_matching(g, matching)
+    rng = random.Random(3)
+    m2, rnd_rounds = randomized_matching(g, rng)
+    assert validate_maximal_matching(g, m2)
+    record(
+        "E10 deterministic vs randomised matching vs n",
+        n=n,
+        delta=delta,
+        pr_rounds=pr_rounds,
+        randomized_rounds=rnd_rounds,
+    )
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_luby_mis(benchmark, record, n):
+    g = nx.random_regular_graph(4, n, seed=4)
+    rng = random.Random(5)
+    mis, rounds = benchmark.pedantic(lambda: luby_mis(g, rng), rounds=1, iterations=1)
+    assert validate_mis(g, mis)
+    record(
+        "E10 Luby MIS (randomised symmetry breaking, O(log n))",
+        n=n,
+        mis_size=len(mis),
+        rounds=rounds,
+    )

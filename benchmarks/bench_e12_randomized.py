@@ -1,0 +1,117 @@
+"""E12 — Appendix B with a real randomised algorithm + Section 2.1 separations.
+
+Extends E9: instead of toy oracles, the randomised *maximal FM* algorithm
+(random edge priorities) is measured — failure probability vs randomness
+width, derandomisation via Lemma 10 — and the Figure 1 model separations
+are exercised: EC solves maximal matching strictly locally, cannot 2-colour
+1-regular graphs (symmetry certificate), while PO 2-colours them in zero
+rounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.derandomize import find_good_assignment
+from repro.core.separations import (
+    ec_coloring_impossibility_certificate,
+    maximal_matching_in_ec,
+    two_color_one_regular_po,
+)
+from repro.graphs.digraph import POGraph
+from repro.graphs.families import random_bounded_degree_graph
+from repro.local.randomized import uniform_tape
+from repro.local.views import ec_view_tree
+from repro.matching.random_priority import (
+    RandomPriorityEC,
+    failure_rate,
+    id_output_is_valid_fm,
+    run_random_priority_id,
+)
+from repro.matching.fm import fm_from_node_outputs
+
+
+@pytest.mark.parametrize("bits", [1, 2, 4, 8, 16])
+def test_failure_rate_vs_bits(benchmark, record, bits):
+    rng = random.Random(20 + bits)
+    g = nx.random_regular_graph(3, 14, seed=1)
+    rate = benchmark.pedantic(
+        lambda: failure_rate(g, rng, bits=bits, samples=50), rounds=1, iterations=1
+    )
+    record(
+        "E12 randomised FM: failure probability vs randomness width",
+        bits=bits,
+        failure_rate=round(rate, 3),
+    )
+
+
+def test_lemma10_on_real_algorithm(benchmark, record):
+    def correct(g, rho):
+        if g.number_of_edges() == 0:
+            return True
+        outs, _ = run_random_priority_id(g, rho)
+        return id_output_is_valid_fm(g, outs)
+
+    rng = random.Random(30)
+    found = benchmark.pedantic(
+        lambda: find_good_assignment(correct, id_sets=[range(4)], rng=rng, rho_bits=20),
+        rounds=1,
+        iterations=1,
+    )
+    assert found is not None
+    record(
+        "E12 Lemma 10 with the real randomised FM algorithm",
+        n=4,
+        graphs_checked=64,
+        good_pair_found=True,
+    )
+
+
+def test_derandomized_runs_in_ec(benchmark, record):
+    """A_rho as a deterministic EC algorithm computing verified maximal FMs."""
+    g = random_bounded_degree_graph(20, 4, seed=5)
+    tape = uniform_tape(g.nodes(), random.Random(31), bits=30)
+    alg = RandomPriorityEC(tape)
+    outputs = benchmark.pedantic(lambda: alg.run_on(g), rounds=1, iterations=1)
+    fm = fm_from_node_outputs(g, outputs)
+    assert fm.is_feasible() and fm.is_maximal()
+    record(
+        "E12 derandomised algorithm in the EC simulator",
+        n=g.num_nodes(),
+        rounds=alg.rounds_used(g),
+        maximal=fm.is_maximal(),
+    )
+
+
+@pytest.mark.parametrize("pairs", [2, 8, 32])
+def test_separation_po_colors_ec_cannot(benchmark, record, pairs):
+    g = POGraph()
+    for i in range(pairs):
+        g.add_edge(("a", i), ("b", i), 1)
+    colors = benchmark.pedantic(lambda: two_color_one_regular_po(g), rounds=1, iterations=1)
+    assert all(colors[("a", i)] != colors[("b", i)] for i in range(pairs))
+    cert, u, v = ec_coloring_impossibility_certificate(4)
+    record(
+        "E12 Figure 1 separation: colouring 1-regular graphs",
+        matching_edges=pairs,
+        po_rounds=0,
+        po_proper=True,
+        ec_certificate="views equal at radius 4",
+    )
+
+
+@pytest.mark.parametrize("delta", [3, 5, 8])
+def test_separation_ec_matches(benchmark, record, delta):
+    g = random_bounded_degree_graph(30, delta, seed=6)
+    chosen, rounds = benchmark.pedantic(
+        lambda: maximal_matching_in_ec(g), rounds=1, iterations=1
+    )
+    record(
+        "E12 Figure 1 separation: maximal matching is strictly local in EC",
+        delta=delta,
+        ec_rounds=rounds,
+        matching_size=len(chosen),
+    )

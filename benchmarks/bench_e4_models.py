@@ -1,0 +1,82 @@
+"""E4 — Figures 1-3 / Section 3: the deterministic models and their glue.
+
+Paper artefacts: the PO1 <-> PO2 equivalence (Figure 2), the EC/PO loop
+degree conventions and factor graphs (Figure 3), universal covers and lift
+invariance (Section 3.4).  Measured: conversion round-trips, factor-graph
+compression on symmetric families, cover construction costs, and empirical
+lift invariance of the simulator.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.saturation import check_lift_invariance
+from repro.graphs.cover import universal_cover_ec
+from repro.graphs.factor import factor_graph
+from repro.graphs.families import cycle_graph, random_loopy_tree, single_node_with_loops
+from repro.graphs.ports import po_double_from_ec, port_numbering_from_po
+from repro.matching.greedy_color import greedy_color_algorithm
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_factor_graph_compression(benchmark, record, n):
+    g = cycle_graph(n)
+
+    def compute():
+        return factor_graph(g)
+
+    fg, _ = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record(
+        "E4 factor graphs compress symmetric inputs (Figure 3)",
+        family=f"C{n} (even)" if n % 2 == 0 else f"C{n}",
+        nodes=n,
+        factor_nodes=fg.num_nodes(),
+    )
+
+
+@pytest.mark.parametrize("loops,radius", [(2, 4), (3, 4), (3, 6), (4, 5)])
+def test_universal_cover_growth(benchmark, record, loops, radius):
+    g = single_node_with_loops(loops)
+    cover = benchmark.pedantic(
+        lambda: universal_cover_ec(g, 0, radius), rounds=1, iterations=1
+    )
+    record(
+        "E4 truncated universal covers (Section 3.4)",
+        base="1 node, " + str(loops) + " loops",
+        radius=radius,
+        cover_nodes=cover.tree.num_nodes(),
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_lift_invariance_of_simulator(benchmark, record, seed):
+    g = random_loopy_tree(5, 1, seed=seed)
+    rng = random.Random(seed)
+    problems = benchmark.pedantic(
+        lambda: check_lift_invariance(greedy_color_algorithm(), g, rng, trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert problems == []
+    record(
+        "E4 lift invariance of simulator outputs (condition (2))",
+        graph=f"loopy tree seed={seed}",
+        trials=3,
+        violations=len(problems),
+    )
+
+
+def test_port_numbering_round_trip(benchmark, record):
+    g = po_double_from_ec(cycle_graph(8))
+    numbering = benchmark.pedantic(lambda: port_numbering_from_po(g), rounds=1, iterations=1)
+    slots = sum(len(v) for v in numbering.values())
+    assert slots == 2 * g.num_edges()
+    record(
+        "E4 PO1 <-> PO2 conversions (Figure 2)",
+        graph="doubled C8",
+        arcs=g.num_edges(),
+        port_slots=slots,
+    )

@@ -1,0 +1,76 @@
+"""E6 — Sections 5.1-5.3 (Figures 8-9): the EC <= PO <= OI simulations.
+
+Paper claim: the simulations preserve run time (up to constants) and
+correctness.  Measured: the chained algorithms still emit verified maximal
+FMs; the EC <= PO link adds zero rounds; PO <= OI reports exactly its ``t``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sim_ec_po import ECFromPO
+from repro.core.sim_po_oi import POFromOI, SymmetricOIAdapter
+from repro.graphs.families import cycle_graph, random_regular_graph, single_node_with_loops
+from repro.local.algorithm import SimulatedPOWeights
+from repro.matching.fm import fm_from_node_outputs
+from repro.matching.proposal import ProposalFM
+
+
+@pytest.mark.parametrize("n", [6, 10, 16])
+def test_ec_from_po_round_preservation(benchmark, record, n):
+    g = cycle_graph(n)
+    po = SimulatedPOWeights(ProposalFM("PO"), name="proposal-po")
+    ec = ECFromPO(po)
+    outputs = benchmark.pedantic(lambda: ec.run_on(g), rounds=1, iterations=1)
+    fm = fm_from_node_outputs(g, outputs)
+    assert fm.is_maximal()
+    record(
+        "E6 EC <= PO (Section 5.1, Figure 8)",
+        graph=f"C{n}",
+        po_rounds=ec.rounds_used(g),
+        overhead_rounds=0,
+        maximal=fm.is_maximal(),
+    )
+
+
+@pytest.mark.parametrize("t", [2, 3, 4])
+def test_po_from_oi_reports_t(benchmark, record, t):
+    g = cycle_graph(6)
+    from repro.graphs.ports import po_double_from_ec
+
+    d = po_double_from_ec(g)
+    oi = SymmetricOIAdapter(ProposalFM("PO"), t=t)
+    po = POFromOI(oi)
+    benchmark.pedantic(lambda: po.run_on(d), rounds=1, iterations=1)
+    record(
+        "E6 PO <= OI run-time preservation (Section 5.3, Figure 9)",
+        t=t,
+        reported_rounds=po.rounds_used(d),
+        preserved=po.rounds_used(d) == t,
+    )
+
+
+@pytest.mark.parametrize("family,graph", [
+    ("C8", None),
+    ("3-regular n=8", None),
+    ("1 node 3 loops", None),
+])
+def test_full_oi_chain_correct(benchmark, record, family, graph):
+    graphs = {
+        "C8": cycle_graph(8),
+        "3-regular n=8": random_regular_graph(8, 3, seed=1),
+        "1 node 3 loops": single_node_with_loops(3),
+    }
+    g = graphs[family]
+    ec = ECFromPO(POFromOI(SymmetricOIAdapter(ProposalFM("PO"), t=3)))
+    outputs = benchmark.pedantic(lambda: ec.run_on(g), rounds=1, iterations=1)
+    fm = fm_from_node_outputs(g, outputs)
+    assert fm.is_feasible() and fm.is_maximal()
+    record(
+        "E6 EC <= PO <= OI end-to-end correctness",
+        graph=family,
+        feasible=fm.is_feasible(),
+        maximal=fm.is_maximal(),
+        weight=str(fm.total_weight()),
+    )

@@ -1,0 +1,48 @@
+"""Benchmark-suite plumbing: collect experiment rows and print them.
+
+Every benchmark records the quantities the corresponding paper artefact is
+about (witness depths, round counts, approximation ratios, ...) through the
+``record`` fixture; a terminal-summary hook prints one table per experiment
+so that ``pytest benchmarks/ --benchmark-only`` reproduces the series the
+paper reports alongside pytest-benchmark's timing table.  EXPERIMENTS.md
+mirrors these tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+import pytest
+
+_ROWS: Dict[str, List[dict]] = defaultdict(list)
+
+
+@pytest.fixture
+def record():
+    """Record one result row for an experiment: ``record("E1", col=value, ...)``."""
+
+    def _record(experiment: str, **row):
+        _ROWS[experiment].append(row)
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ROWS:
+        return
+    tr = terminalreporter
+    tr.section("reproduction experiment results")
+    for experiment in sorted(_ROWS):
+        rows = _ROWS[experiment]
+        columns = list(dict.fromkeys(k for row in rows for k in row))
+        widths = {
+            c: max(len(c), *(len(str(row.get(c, ""))) for row in rows)) for c in columns
+        }
+        tr.write_line("")
+        tr.write_line(f"[{experiment}]")
+        tr.write_line("  " + "  ".join(c.ljust(widths[c]) for c in columns))
+        for row in rows:
+            tr.write_line(
+                "  " + "  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+            )

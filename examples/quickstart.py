@@ -1,0 +1,56 @@
+"""Quickstart: compute and verify maximal fractional matchings.
+
+Builds a few edge-coloured graphs, runs the two distributed O(Delta)-round
+maximal-FM algorithms (greedy-by-colour and the proposal dynamics), verifies
+the outputs both centrally and with the 1-round distributed checker, and
+compares total weights against the maximum-weight LP optimum — illustrating
+the classical fact that a maximal FM is a 1/2-approximation.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.graphs.families import caterpillar, cycle_graph, random_bounded_degree_graph
+from repro.matching import (
+    fm_from_node_outputs,
+    greedy_color_algorithm,
+    max_weight_fm_lp,
+    proposal_algorithm,
+    verify_distributed,
+)
+
+
+def main() -> None:
+    graphs = {
+        "cycle C10": cycle_graph(10),
+        "caterpillar(5 spine, 3 legs)": caterpillar(5, 3),
+        "random (n=30, max deg 5)": random_bounded_degree_graph(30, 5, seed=42),
+    }
+    algorithms = [greedy_color_algorithm(), proposal_algorithm()]
+
+    header = f"{'graph':32} {'algorithm':18} {'rounds':>6} {'weight':>8} {'LP opt':>8} {'ratio':>6}"
+    print(header)
+    print("-" * len(header))
+    for gname, g in graphs.items():
+        lp_opt, _ = max_weight_fm_lp(g)
+        for alg in algorithms:
+            outputs = alg.run_on(g)
+            fm = fm_from_node_outputs(g, outputs)
+            assert fm.is_feasible(), "distributed output must be a feasible FM"
+            assert fm.is_maximal(), "distributed output must be maximal"
+            ok, _verdicts, check_rounds = verify_distributed(g, outputs)
+            assert ok and check_rounds == 1, "the 1-round local checker must accept"
+            w = float(fm.total_weight())
+            ratio = w / lp_opt if lp_opt else 1.0
+            print(
+                f"{gname:32} {alg.name:18} {alg.rounds_used(g) or '-':>6} "
+                f"{w:8.3f} {lp_opt:8.3f} {ratio:6.3f}"
+            )
+    print()
+    print("All outputs verified: feasible, maximal, accepted by the 1-round")
+    print("distributed checker, and within the guaranteed 1/2 of the LP optimum.")
+
+
+if __name__ == "__main__":
+    main()

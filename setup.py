@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs (``pip install -e .``)
+on environments whose setuptools/pip lack PEP 660 wheel support.  All project
+metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Symmetry-breaking substrates: Cole-Vishkin, forests, Linial, edge colouring, MIS."""
+
+from .cole_vishkin import cole_vishkin_3color, cv_step_count, validate_forest_coloring
+from .edge_coloring import (
+    distributed_edge_coloring,
+    line_graph_adjacency,
+    validate_edge_coloring,
+)
+from .forests import forest_decomposition, validate_forest
+from .linial import (
+    greedy_reduce_to,
+    linial_reduce,
+    linial_step,
+    next_prime,
+    reduction_parameters,
+    validate_coloring,
+)
+from .mis import luby_mis, validate_mis
+
+__all__ = [
+    "cole_vishkin_3color",
+    "cv_step_count",
+    "validate_forest_coloring",
+    "distributed_edge_coloring",
+    "line_graph_adjacency",
+    "validate_edge_coloring",
+    "forest_decomposition",
+    "validate_forest",
+    "greedy_reduce_to",
+    "linial_reduce",
+    "linial_step",
+    "next_prime",
+    "reduction_parameters",
+    "validate_coloring",
+    "luby_mis",
+    "validate_mis",
+]

@@ -1,0 +1,64 @@
+"""Distributed edge colouring via colour reduction on the line graph.
+
+Simulating one round of a line-graph algorithm costs ``O(1)`` rounds of the
+original network (an edge's state can live at an endpoint and its line-graph
+neighbours are at distance <= 1), so Linial reduction on the line graph
+properly edge-colours a graph of maximum degree ``Delta`` with ``O(Delta^2)``
+colours in ``O(log* n)`` rounds.  Together with greedy-by-colour matching
+this realises the "simple" ``O(Delta^2 + log* n)`` maximal matching that
+Panconesi-Rizzi improve upon (paper, Section 1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+from .linial import linial_reduce
+
+Node = Hashable
+EdgeKey = Tuple  # canonical (min, max) node pair
+
+__all__ = ["line_graph_adjacency", "distributed_edge_coloring", "validate_edge_coloring"]
+
+
+def line_graph_adjacency(g: "nx.Graph") -> Dict[EdgeKey, List[EdgeKey]]:
+    """Adjacency of the line graph; vertices are canonical edge keys."""
+    keys = [tuple(sorted(e)) for e in g.edges()]
+    incident: Dict[Node, List[EdgeKey]] = {}
+    for k in keys:
+        incident.setdefault(k[0], []).append(k)
+        incident.setdefault(k[1], []).append(k)
+    adj: Dict[EdgeKey, List[EdgeKey]] = {k: [] for k in keys}
+    for k in keys:
+        nbrs = set(incident[k[0]]) | set(incident[k[1]])
+        nbrs.discard(k)
+        adj[k] = sorted(nbrs)
+    return adj
+
+
+def distributed_edge_coloring(g: "nx.Graph") -> Tuple[Dict[EdgeKey, int], int]:
+    """Properly edge-colour ``g`` with ``O(Delta^2)`` colours.
+
+    Initial line-graph colours come from injectively pairing the endpoint
+    identifiers; Linial reduction shrinks the palette.  Returns the edge
+    colouring (1-based colours, keyed by canonical edge pair) and the round
+    count, where each line-graph round is billed as 2 network rounds.
+    """
+    adj = line_graph_adjacency(g)
+    if not adj:
+        return {}, 0
+    n_bound = max(g.nodes()) + 1 if g.number_of_nodes() else 1
+    initial = {k: k[0] * n_bound + k[1] for k in adj}
+    # make colours dense-ish but still unique (identifiers may be sparse)
+    delta_line = max((len(v) for v in adj.values()), default=0)
+    colors, line_rounds = linial_reduce(initial, adj, delta_line)
+    shifted = {k: c + 1 for k, c in colors.items()}
+    return shifted, 2 * line_rounds
+
+
+def validate_edge_coloring(g: "nx.Graph", coloring: Dict[EdgeKey, int]) -> bool:
+    """Whether adjacent edges always received distinct colours."""
+    adj = line_graph_adjacency(g)
+    return all(coloring[k] != coloring[j] for k in adj for j in adj[k])

@@ -1,0 +1,55 @@
+"""Forest decompositions from unique identifiers (0 communication rounds).
+
+A graph of maximum degree ``Delta`` splits into ``Delta`` rooted forests:
+each edge is *owned* by its higher-identifier endpoint and assigned the
+index of that edge in the owner's (sorted) list of owned edges.  In forest
+``F_i`` every node has at most one owned index-``i`` edge and points along
+it to the lower-identifier endpoint; parent chains strictly decrease
+identifiers, so each ``F_i`` is a forest rooted at local minima.
+
+This is the entry step of the Panconesi-Rizzi maximal-matching baseline
+(paper, Section 1.1): it costs no communication because every node already
+knows its neighbours' identifiers in the ID model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+import networkx as nx
+
+Node = Hashable
+
+__all__ = ["forest_decomposition", "validate_forest"]
+
+
+def forest_decomposition(g: "nx.Graph") -> List[Dict[Node, Optional[Node]]]:
+    """Split ``g`` into rooted forests given as parent-pointer maps.
+
+    Returns a list of ``Delta`` maps; map ``i`` sends every node to its
+    parent in forest ``F_{i+1}`` (``None`` if it owns no index-``i+1`` edge).
+    Every edge of ``g`` appears in exactly one forest.  Node labels must be
+    comparable (they are identifiers).
+    """
+    delta = max((d for _, d in g.degree()), default=0)
+    forests: List[Dict[Node, Optional[Node]]] = [
+        {v: None for v in g.nodes()} for _ in range(delta)
+    ]
+    for owner in g.nodes():
+        owned = sorted(w for w in g.neighbors(owner) if owner > w)
+        for i, w in enumerate(owned):
+            forests[i][owner] = w
+    return forests
+
+
+def validate_forest(parent: Dict[Node, Optional[Node]]) -> bool:
+    """Whether the parent map is acyclic (a genuine rooted forest)."""
+    for start in parent:
+        seen = {start}
+        v = start
+        while parent[v] is not None:
+            v = parent[v]
+            if v in seen:
+                return False
+            seen.add(v)
+    return True

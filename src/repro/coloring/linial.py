@@ -1,0 +1,156 @@
+"""Linial-style colour reduction via polynomial cover-free families.
+
+Reduces a proper ``m``-colouring of a graph of maximum degree ``Delta`` to a
+proper ``q^2``-colouring in **one** communication round, where ``q`` is a
+prime chosen so that degree-``d`` polynomials over ``GF(q)`` encode all
+``m`` colours and ``q > d * Delta``.  Iterating reaches an ``O(Delta^2)``
+palette in ``O(log* m)`` rounds — Linial's classical upper bound, and the
+``log* n`` ingredient of every ``O(Delta) + O(log* n)`` algorithm the
+paper's open question is about.
+
+The cover-free structure: distinct degree-``d`` polynomials agree on at most
+``d`` points, so a node whose polynomial is ``p`` can pick an evaluation
+point ``x`` where ``p(x)`` differs from all ``<= Delta`` neighbouring
+polynomials — at most ``d * Delta < q`` points are spoiled.  The new colour
+is the pair ``(x, p(x))``, and adjacent nodes always differ: if two
+neighbours picked the same ``x``, their values differ by choice of ``x``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+Node = Hashable
+
+__all__ = [
+    "next_prime",
+    "reduction_parameters",
+    "linial_step",
+    "linial_reduce",
+    "greedy_reduce_to",
+    "validate_coloring",
+]
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime ``>= n`` (trial division; fine for palette-sized inputs)."""
+    candidate = max(n, 2)
+    while True:
+        if all(candidate % p for p in range(2, int(candidate**0.5) + 1)):
+            return candidate
+        candidate += 1
+
+
+def reduction_parameters(m: int, delta: int) -> Tuple[int, int]:
+    """Choose ``(q, d)`` for one reduction step from palette size ``m``.
+
+    Picks the smallest prime ``q`` admitting a degree bound ``d`` with
+    ``q**(d + 1) >= m`` (every colour encodes as a polynomial) and
+    ``q > d * delta`` (a good evaluation point always exists).
+    """
+    q = next_prime(max(delta + 1, 2))
+    while True:
+        d = 0
+        while q ** (d + 1) < m:
+            d += 1
+        if q > d * delta:
+            return q, d
+        q = next_prime(q + 1)
+
+
+def _poly_of_color(color: int, q: int, d: int) -> List[int]:
+    """Base-``q`` digits of ``color`` as coefficients of a degree-``d`` polynomial."""
+    coeffs = []
+    c = color
+    for _ in range(d + 1):
+        coeffs.append(c % q)
+        c //= q
+    return coeffs
+
+
+def _eval_poly(coeffs: List[int], x: int, q: int) -> int:
+    value = 0
+    for a in reversed(coeffs):
+        value = (value * x + a) % q
+    return value
+
+
+def linial_step(
+    colors: Dict[Node, int],
+    adjacency: Dict[Node, List[Node]],
+    delta: int,
+) -> Tuple[Dict[Node, int], int]:
+    """One cover-free reduction round.
+
+    ``colors`` must be a proper colouring with values in ``0 .. m-1``.
+    Returns the new proper colouring with palette size ``q**2`` (colours are
+    encoded as ``x * q + p(x)``) and the palette size ``q**2`` itself.
+    Costs one communication round (each node needs its neighbours' current
+    colours).
+    """
+    m = max(colors.values(), default=0) + 1
+    q, d = reduction_parameters(m, delta)
+    new_colors: Dict[Node, int] = {}
+    for v, c in colors.items():
+        p = _poly_of_color(c, q, d)
+        neighbour_polys = [_poly_of_color(colors[w], q, d) for w in adjacency[v]]
+        for x in range(q):
+            mine = _eval_poly(p, x, q)
+            if all(_eval_poly(np_, x, q) != mine for np_ in neighbour_polys):
+                new_colors[v] = x * q + mine
+                break
+        else:  # pragma: no cover - impossible by q > d * delta
+            raise AssertionError("no good evaluation point; parameters violated")
+    return new_colors, q * q
+
+
+def linial_reduce(
+    colors: Dict[Node, int],
+    adjacency: Dict[Node, List[Node]],
+    delta: int,
+) -> Tuple[Dict[Node, int], int]:
+    """Iterate :func:`linial_step` until the palette stops shrinking.
+
+    Returns the final colouring and the number of rounds used.  The final
+    palette is ``O(delta**2)`` (the square of the smallest prime exceeding
+    ``delta``), reached in ``O(log* m)`` rounds.
+    """
+    rounds = 0
+    palette = max(colors.values(), default=0) + 1
+    while True:
+        new_colors, new_palette = linial_step(colors, adjacency, delta)
+        rounds += 1
+        if new_palette >= palette:
+            # no further progress possible; keep the smaller palette
+            return (colors, rounds - 1) if new_palette > palette else (new_colors, rounds)
+        colors, palette = new_colors, new_palette
+
+
+def greedy_reduce_to(
+    colors: Dict[Node, int],
+    adjacency: Dict[Node, List[Node]],
+    target: int,
+) -> Tuple[Dict[Node, int], int]:
+    """Shrink a proper colouring to ``target`` colours, one colour per round.
+
+    Round for colour ``c`` (from the top): all nodes coloured ``c`` — an
+    independent set — simultaneously adopt the smallest colour unused in
+    their neighbourhood (< ``target`` colours are always available when
+    ``target >= delta + 1``).  Costs ``palette - target`` rounds.
+    """
+    palette = max(colors.values(), default=0) + 1
+    rounds = 0
+    for c in range(palette - 1, target - 1, -1):
+        recolored = dict(colors)
+        for v, cv in colors.items():
+            if cv == c:
+                taken = {colors[w] for w in adjacency[v]}
+                recolored[v] = next(x for x in range(target) if x not in taken)
+        colors = recolored
+        rounds += 1
+    return colors, rounds
+
+
+def validate_coloring(colors: Dict[Node, int], adjacency: Dict[Node, List[Node]]) -> bool:
+    """Whether ``colors`` is proper on the given adjacency structure."""
+    return all(colors[v] != colors[w] for v in adjacency for w in adjacency[v])

@@ -1,0 +1,127 @@
+"""The paper's contribution, executable: the unfold-and-mix lower-bound
+adversary (Section 4), the EC <= PO <= OI <= ID simulation chain (Section 5),
+the homogeneous tree order (Appendix A) and derandomisation (Appendix B)."""
+
+from .adversary import checked_run, hard_instance_pair, run_adversary
+from .canonical_order import (
+    bracket,
+    compare_words,
+    concat,
+    inverse_word,
+    reduce_word,
+    slot_key,
+    tree_sort_key,
+)
+from .derandomize import all_graphs_on, failure_amplification, find_good_assignment
+from .exhaustive import (
+    SearchOutcome,
+    half_integral_grid,
+    one_round_universe,
+    search_view_function,
+    zero_round_impossibility,
+)
+from .propagation import (
+    PropagationError,
+    disagreeing_colors,
+    disagreement_walk,
+    next_disagreement,
+    node_load_of_output,
+)
+from .ramsey import find_monochromatic_subset, order_invariant_subset, ramsey_pairs
+from .separations import (
+    GreedyColorMatching,
+    ec_coloring_impossibility_certificate,
+    maximal_matching_in_ec,
+    two_color_one_regular_po,
+)
+from .saturation import (
+    check_lift_invariance,
+    figure4_certificate,
+    saturation_indicator,
+    simple_unfolding,
+    unsaturated_nodes,
+)
+from .sim_ec_po import ECFromPO, ec_algorithm_from_po
+from .sim_oi_id import (
+    LoopyNeighbourhood,
+    OIFromID,
+    ball_size_bound,
+    evaluate_id_on_neighbourhood,
+    extract_order_invariant_ids,
+    lemma6_check,
+    lemma7_check,
+    loopy_oi_neighbourhood,
+    saturation_of_root,
+)
+from .sim_po_oi import (
+    OIAlgorithm,
+    POFromOI,
+    SymmetricOIAdapter,
+    cover_words,
+    po_algorithm_from_oi,
+)
+from .theorem import Refutation, chain_id_to_ec, chain_oi_to_ec, chain_po_to_ec, refute
+from .witness import AlgorithmFailure, LowerBoundWitness, StepWitness, reverify_step
+
+__all__ = [
+    "checked_run",
+    "hard_instance_pair",
+    "run_adversary",
+    "bracket",
+    "compare_words",
+    "concat",
+    "inverse_word",
+    "reduce_word",
+    "slot_key",
+    "tree_sort_key",
+    "all_graphs_on",
+    "failure_amplification",
+    "find_good_assignment",
+    "SearchOutcome",
+    "half_integral_grid",
+    "one_round_universe",
+    "search_view_function",
+    "zero_round_impossibility",
+    "PropagationError",
+    "disagreeing_colors",
+    "disagreement_walk",
+    "next_disagreement",
+    "node_load_of_output",
+    "find_monochromatic_subset",
+    "order_invariant_subset",
+    "ramsey_pairs",
+    "GreedyColorMatching",
+    "ec_coloring_impossibility_certificate",
+    "maximal_matching_in_ec",
+    "two_color_one_regular_po",
+    "check_lift_invariance",
+    "figure4_certificate",
+    "saturation_indicator",
+    "simple_unfolding",
+    "unsaturated_nodes",
+    "ECFromPO",
+    "ec_algorithm_from_po",
+    "LoopyNeighbourhood",
+    "OIFromID",
+    "ball_size_bound",
+    "evaluate_id_on_neighbourhood",
+    "extract_order_invariant_ids",
+    "lemma6_check",
+    "lemma7_check",
+    "loopy_oi_neighbourhood",
+    "saturation_of_root",
+    "OIAlgorithm",
+    "POFromOI",
+    "SymmetricOIAdapter",
+    "cover_words",
+    "po_algorithm_from_oi",
+    "Refutation",
+    "chain_id_to_ec",
+    "chain_oi_to_ec",
+    "chain_po_to_ec",
+    "refute",
+    "AlgorithmFailure",
+    "LowerBoundWitness",
+    "StepWitness",
+    "reverify_step",
+]

@@ -1,0 +1,136 @@
+"""Finite Ramsey machinery for the Naor-Stockmeyer technique (Section 5.4).
+
+Lemma 5 of the paper extracts, via the *infinite* Ramsey theorem, an
+identifier set on which the (finitely-valued!) saturation indicator ``A*``
+behaves order-invariantly.  Executably we use the *finite* counterpart,
+exactly as the paper's Appendix B does for the randomised case: colour every
+``k``-subset of a finite identifier universe by the behaviour it induces and
+search for a monochromatic subset.
+
+Two searches are provided:
+
+* :func:`find_monochromatic_subset` — exhaustive over candidate subsets
+  (feasible for the small universes the tests and benches use);
+* :func:`ramsey_pairs` — the classical pivot extraction for ``k = 2``,
+  polynomial and good for larger universes.
+
+:func:`order_invariant_subset` applies the search sequentially over several
+"behaviour templates" (neighbourhood shapes): a subset monochromatic for one
+template stays monochromatic when later templates shrink it further, so
+iterative refinement is sound.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "find_monochromatic_subset",
+    "ramsey_pairs",
+    "order_invariant_subset",
+]
+
+Behaviour = Callable[[Tuple[int, ...]], Hashable]
+
+
+def find_monochromatic_subset(
+    universe: Sequence[int],
+    k: int,
+    color: Behaviour,
+    target: int,
+) -> Optional[Tuple[List[int], Hashable]]:
+    """Find ``target`` identifiers whose ``k``-subsets all share one colour.
+
+    ``color`` maps a sorted ``k``-tuple of identifiers to a hashable value.
+    Exhaustive search over size-``target`` subsets (ascending lexicographic),
+    with memoised colours; returns ``(subset, colour)`` or ``None``.
+    """
+    ids = sorted(universe)
+    if target < k:
+        raise ValueError("target size must be at least k")
+    cache: Dict[Tuple[int, ...], Hashable] = {}
+
+    def colour_of(tup: Tuple[int, ...]) -> Hashable:
+        if tup not in cache:
+            cache[tup] = color(tup)
+        return cache[tup]
+
+    for candidate in combinations(ids, target):
+        subsets = combinations(candidate, k)
+        first = colour_of(next(subsets))
+        if all(colour_of(s) == first for s in subsets):
+            return list(candidate), first
+    return None
+
+
+def ramsey_pairs(
+    universe: Sequence[int],
+    color: Behaviour,
+    target: int,
+) -> Optional[Tuple[List[int], Hashable]]:
+    """Pivot extraction for ``k = 2`` (the textbook Ramsey proof, effectively).
+
+    Builds a pre-homogeneous sequence — each pivot sees a single colour
+    towards everything after it — then takes the longest constant-colour
+    run of pivots.  Polynomial time; may return ``None`` if the universe is
+    too small for the requested target.
+    """
+    remaining = sorted(universe)
+    pivots: List[Tuple[int, Hashable]] = []
+    while len(remaining) >= 2:
+        pivot, rest = remaining[0], remaining[1:]
+        classes: Dict[Hashable, List[int]] = {}
+        for y in rest:
+            classes.setdefault(color((pivot, y)), []).append(y)
+        best_color, best_class = max(classes.items(), key=lambda kv: len(kv[1]))
+        pivots.append((pivot, best_color))
+        remaining = best_class
+    groups: Dict[Hashable, List[int]] = {}
+    for pid, c in pivots:
+        groups.setdefault(c, []).append(pid)
+    if not groups:
+        return None
+    best_color, members = max(groups.items(), key=lambda kv: len(kv[1]))
+    if len(members) < target:
+        return None
+    return sorted(members)[:target], best_color
+
+
+def order_invariant_subset(
+    universe: Sequence[int],
+    templates: Sequence[Tuple[int, Behaviour]],
+    target: int,
+    intermediate_slack: int = 2,
+) -> Optional[Tuple[List[int], List[Hashable]]]:
+    """Sequentially refine the universe until every template is monochromatic.
+
+    ``templates`` is a list of ``(k, behaviour)`` pairs — ``behaviour`` maps
+    a sorted ``k``-tuple of identifiers (assigned, in order, to the template
+    neighbourhood's nodes) to the induced output pattern.  Returns
+    ``(identifier set I, constant behaviour per template)``; on ``I`` every
+    order-respecting identifier assignment induces the *same* behaviour on
+    every template — the executable content of Lemma 5.
+
+    Refinement is sound because subsets of a monochromatic set remain
+    monochromatic; earlier steps aim ``intermediate_slack`` above the final
+    ``target`` per remaining template so that later searches have room.  As
+    with any finite Ramsey statement the search can fail on a too-small
+    universe, in which case ``None`` is returned and the caller should widen
+    the identifier pool.
+    """
+    current = sorted(universe)
+    constants: List[Hashable] = []
+    for idx, (k, behaviour) in enumerate(templates):
+        remaining = len(templates) - 1 - idx
+        step_target = min(len(current), target + intermediate_slack * remaining)
+        if step_target < max(target, k):
+            return None
+        found = find_monochromatic_subset(current, k, behaviour, step_target)
+        if found is None and step_target > target:
+            found = find_monochromatic_subset(current, k, behaviour, target)
+        if found is None:
+            return None
+        current, constant = found
+        constants.append(constant)
+    return current, constants

@@ -1,0 +1,144 @@
+"""Truncated universal covers (paper, Section 3.4).
+
+The universal cover ``UG`` of a connected graph ``G`` is the unique tree that
+is a lift of ``G``; it is infinite as soon as ``G`` has a cycle or a loop.
+All arguments in the paper only ever inspect bounded-radius portions of
+``UG``, so we materialise *truncated* covers: the radius-``r`` ball of ``UG``
+around a chosen base node.
+
+Cover nodes are labelled by their non-backtracking walks from the base:
+
+* **EC-graphs** — a walk is a tuple of edge ids; traversing the same edge
+  twice in a row is backtracking and forbidden (this applies to loops too: a
+  loop's lift connects two distinct copies, and re-traversing it returns to
+  the previous copy).
+* **PO-graphs** — a walk is a tuple of ``(edge_id, direction)`` steps with
+  ``direction`` +1 (tail to head) or -1 (head to tail); backtracking means
+  traversing the same arc in the opposite direction.  Traversing a directed
+  loop forward twice in a row is *not* backtracking (the loop behaves like a
+  free-group generator ``g``: ``g . g`` is reduced while ``g . g^-1`` is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from .digraph import POGraph
+from .multigraph import ECGraph
+
+Node = Hashable
+Walk = Tuple  # tuple of edge ids (EC) or (edge id, direction) steps (PO)
+
+__all__ = ["TruncatedCover", "universal_cover_ec", "TruncatedCoverPO", "universal_cover_po"]
+
+
+@dataclass
+class TruncatedCover:
+    """The radius-``r`` ball of the universal cover of an EC-graph.
+
+    Attributes
+    ----------
+    tree:
+        The cover ball as a loop-free :class:`ECGraph`; node labels are the
+        non-backtracking walks (tuples of base-graph edge ids) from the root.
+    root:
+        The empty walk ``()``.
+    projection:
+        The covering map restricted to the ball: walk label -> base node.
+    radius:
+        Truncation radius.
+    """
+
+    tree: ECGraph
+    root: Walk
+    projection: Dict[Walk, Node]
+    radius: int
+
+
+def universal_cover_ec(g: ECGraph, base: Node, radius: int) -> TruncatedCover:
+    """Materialise the radius-``radius`` ball of ``UG`` around a lift of ``base``.
+
+    Away from the truncation boundary the projection is a covering map: every
+    cover node at depth < ``radius`` has exactly one incident edge per colour
+    incident to its base image (degrees are preserved; loops of the base lift
+    to ordinary edges between distinct copies, mirroring Figure 4).
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    tree = ECGraph()
+    root: Walk = ()
+    tree.add_node(root)
+    projection: Dict[Walk, Node] = {root: base}
+    frontier: List[Walk] = [root]
+    for _ in range(radius):
+        nxt: List[Walk] = []
+        for w in frontier:
+            at = projection[w]
+            last_eid = w[-1] if w else None
+            for e in g.incident_edges(at):
+                if e.eid == last_eid:
+                    continue  # non-backtracking
+                child: Walk = w + (e.eid,)
+                tree.add_node(child)
+                projection[child] = e.other(at)
+                tree.add_edge(w, child, e.color)
+                nxt.append(child)
+        frontier = nxt
+    return TruncatedCover(tree=tree, root=root, projection=projection, radius=radius)
+
+
+@dataclass
+class TruncatedCoverPO:
+    """The radius-``r`` ball of the universal cover of a PO-graph.
+
+    Node labels are reduced step words: tuples of ``(edge_id, direction)``.
+    The cover is itself a :class:`POGraph` (a tree of arcs, no loops).
+    """
+
+    tree: POGraph
+    root: Walk
+    projection: Dict[Walk, Node]
+    radius: int
+
+
+def universal_cover_po(g: POGraph, base: Node, radius: int) -> TruncatedCoverPO:
+    """Radius-``radius`` ball of the universal cover of a PO-graph.
+
+    Each cover node at depth < ``radius`` has one outgoing arc per outgoing
+    colour of its base image and one incoming arc per incoming colour; a
+    directed loop of the base lifts to an infinite directed line through its
+    copies.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    tree = POGraph()
+    root: Walk = ()
+    tree.add_node(root)
+    projection: Dict[Walk, Node] = {root: base}
+    frontier: List[Walk] = [root]
+    for _ in range(radius):
+        nxt: List[Walk] = []
+        for w in frontier:
+            at = projection[w]
+            last = w[-1] if w else None
+            for e in g.out_edges(at):
+                step = (e.eid, +1)
+                if last == (e.eid, -1):
+                    continue  # backtracking
+                child: Walk = w + (step,)
+                tree.add_node(child)
+                projection[child] = e.head
+                tree.add_edge(w, child, e.color)
+                nxt.append(child)
+            for e in g.in_edges(at):
+                step = (e.eid, -1)
+                if last == (e.eid, +1):
+                    continue  # backtracking
+                child = w + (step,)
+                tree.add_node(child)
+                projection[child] = e.tail
+                tree.add_edge(child, w, e.color)
+                nxt.append(child)
+        frontier = nxt
+    return TruncatedCoverPO(tree=tree, root=root, projection=projection, radius=radius)

@@ -1,0 +1,248 @@
+"""Edge-coloured digraphs with loops (PO-graphs).
+
+A PO-graph (paper, Section 3.3 and Figure 2) is a directed multigraph whose
+edges carry colours such that
+
+* all *outgoing* edges of a node have pairwise distinct colours, and
+* all *incoming* edges of a node have pairwise distinct colours
+
+(an outgoing and an incoming edge at the same node may share a colour).  This
+edge-coloured-digraph view is equivalent to the usual port-numbering-with-
+orientation definition; the conversions live in :mod:`repro.graphs.ports`.
+
+Loops follow the paper's convention (Section 3.5, Figure 3): a *directed* loop
+contributes **+2** to its endpoint's degree — once as the tail (an outgoing
+colour slot) and once as the head (an incoming colour slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+Node = Hashable
+Color = int
+EdgeId = int
+
+__all__ = ["DiEdge", "POGraph", "ImproperPOColoringError"]
+
+
+class ImproperPOColoringError(ValueError):
+    """Raised when an arc insertion would clash with an existing colour slot."""
+
+
+@dataclass(frozen=True)
+class DiEdge:
+    """A directed coloured edge (arc) from ``tail`` to ``head``."""
+
+    eid: EdgeId
+    tail: Node
+    head: Node
+    color: Color
+
+    @property
+    def is_loop(self) -> bool:
+        """Whether this arc is a directed loop (tail equals head)."""
+        return self.tail == self.head
+
+
+class POGraph:
+    """A PO-graph: directed multigraph with the PO edge-colouring discipline.
+
+    Each node has at most one outgoing arc and at most one incoming arc of any
+    given colour; properness is enforced on insertion.  A directed loop at
+    ``v`` occupies both the outgoing and the incoming colour-``c`` slot of
+    ``v`` and counts +2 towards ``degree(v)``.
+    """
+
+    def __init__(self) -> None:
+        self._edges: Dict[EdgeId, DiEdge] = {}
+        self._out: Dict[Node, Dict[Color, EdgeId]] = {}
+        self._in: Dict[Node, Dict[Color, EdgeId]] = {}
+        self._next_eid: EdgeId = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node) -> Node:
+        """Add an isolated node (no-op if already present)."""
+        self._out.setdefault(v, {})
+        self._in.setdefault(v, {})
+        return v
+
+    def add_edge(self, tail: Node, head: Node, color: Color, eid: Optional[EdgeId] = None) -> EdgeId:
+        """Add an arc ``tail -> head`` of the given colour.
+
+        Raises :class:`ImproperPOColoringError` if ``tail`` already has an
+        outgoing arc of this colour or ``head`` already has an incoming one.
+        """
+        self.add_node(tail)
+        self.add_node(head)
+        if color in self._out[tail]:
+            raise ImproperPOColoringError(
+                f"node {tail!r} already has an outgoing arc of colour {color}"
+            )
+        if color in self._in[head]:
+            raise ImproperPOColoringError(
+                f"node {head!r} already has an incoming arc of colour {color}"
+            )
+        if eid is None:
+            eid = self._next_eid
+        elif eid in self._edges:
+            raise ValueError(f"edge id {eid} already in use")
+        self._next_eid = max(self._next_eid, eid) + 1
+        arc = DiEdge(eid, tail, head, color)
+        self._edges[eid] = arc
+        self._out[tail][color] = eid
+        self._in[head][color] = eid
+        return eid
+
+    def remove_edge(self, eid: EdgeId) -> DiEdge:
+        """Remove the arc with id ``eid`` and return its record."""
+        arc = self._edges.pop(eid)
+        del self._out[arc.tail][arc.color]
+        del self._in[arc.head][arc.color]
+        return arc
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[Node]:
+        """List of all nodes."""
+        return list(self._out.keys())
+
+    def edges(self) -> List[DiEdge]:
+        """List of all arc records."""
+        return list(self._edges.values())
+
+    def edge(self, eid: EdgeId) -> DiEdge:
+        """The arc with id ``eid``."""
+        return self._edges[eid]
+
+    def has_node(self, v: Node) -> bool:
+        """Whether ``v`` is a node."""
+        return v in self._out
+
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._out)
+
+    def num_edges(self) -> int:
+        """Number of arcs (a loop counts once as an arc)."""
+        return len(self._edges)
+
+    def out_colors(self, v: Node) -> List[Color]:
+        """Colours of outgoing arcs at ``v``."""
+        return list(self._out[v].keys())
+
+    def in_colors(self, v: Node) -> List[Color]:
+        """Colours of incoming arcs at ``v``."""
+        return list(self._in[v].keys())
+
+    def out_edge(self, v: Node, color: Color) -> Optional[DiEdge]:
+        """The outgoing colour-``color`` arc at ``v``, or ``None``."""
+        eid = self._out[v].get(color)
+        return None if eid is None else self._edges[eid]
+
+    def in_edge(self, v: Node, color: Color) -> Optional[DiEdge]:
+        """The incoming colour-``color`` arc at ``v``, or ``None``."""
+        eid = self._in[v].get(color)
+        return None if eid is None else self._edges[eid]
+
+    def out_edges(self, v: Node) -> List[DiEdge]:
+        """Outgoing arcs at ``v`` in colour order (loops included)."""
+        return [self._edges[eid] for _, eid in sorted(self._out[v].items())]
+
+    def in_edges(self, v: Node) -> List[DiEdge]:
+        """Incoming arcs at ``v`` in colour order (loops included)."""
+        return [self._edges[eid] for _, eid in sorted(self._in[v].items())]
+
+    def incident_edges(self, v: Node) -> List[DiEdge]:
+        """All arcs with ``v`` as tail or head; loops appear once."""
+        seen: Dict[EdgeId, DiEdge] = {}
+        for e in self.out_edges(v) + self.in_edges(v):
+            seen[e.eid] = e
+        return list(seen.values())
+
+    def degree(self, v: Node) -> int:
+        """PO degree: out-slots + in-slots.  A directed loop counts +2."""
+        return len(self._out[v]) + len(self._in[v])
+
+    def max_degree(self) -> int:
+        """Maximum PO degree over all nodes."""
+        return max((self.degree(v) for v in self._out), default=0)
+
+    def loop_count(self, v: Node) -> int:
+        """Number of directed loops at ``v``."""
+        return sum(1 for e in self.out_edges(v) if e.is_loop)
+
+    def colors(self) -> List[Color]:
+        """Sorted list of colours used."""
+        return sorted({e.color for e in self._edges.values()})
+
+    def neighbors(self, v: Node) -> List[Node]:
+        """Distinct nodes adjacent to ``v`` in either direction."""
+        seen: List[Node] = []
+        for e in self.incident_edges(v):
+            w = e.head if e.tail == v else e.tail
+            if w not in seen:
+                seen.append(w)
+        return seen
+
+    # ------------------------------------------------------------------
+    # traversal / copy
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: Node, max_dist: Optional[int] = None) -> Dict[Node, int]:
+        """Undirected BFS distances from ``source`` (arcs traversed both ways)."""
+        dist = {source: 0}
+        frontier = [source]
+        d = 0
+        while frontier and (max_dist is None or d < max_dist):
+            d += 1
+            nxt: List[Node] = []
+            for v in frontier:
+                for w in self.neighbors(v):
+                    if w not in dist:
+                        dist[w] = d
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    def is_connected(self) -> bool:
+        """Whether the underlying undirected graph is connected."""
+        if not self._out:
+            return True
+        src = next(iter(self._out))
+        return len(self.bfs_distances(src)) == len(self._out)
+
+    def copy(self) -> "POGraph":
+        """Deep copy preserving labels and edge ids."""
+        g = POGraph()
+        for v in self._out:
+            g.add_node(v)
+        for e in self._edges.values():
+            g.add_edge(e.tail, e.head, e.color, eid=e.eid)
+        return g
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``AssertionError`` on corruption."""
+        for v, slots in self._out.items():
+            for color, eid in slots.items():
+                e = self._edges[eid]
+                assert e.color == color and e.tail == v
+        for v, slots in self._in.items():
+            for color, eid in slots.items():
+                e = self._edges[eid]
+                assert e.color == color and e.head == v
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._out
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._out)
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"POGraph(n={self.num_nodes()}, m={self.num_edges()}, colors={self.colors()})"

@@ -1,0 +1,184 @@
+"""Factor graphs via colour refinement (paper, Section 3.4, Figure 3).
+
+The factor graph ``FG`` of ``G`` is the smallest graph of which ``G`` is a
+lift — the most concise representation of the global symmetry-breaking
+information in ``G``.  For properly edge-coloured graphs it is computed by
+*colour refinement*: iteratively partition the nodes by the multiset of
+(edge colour, class of the other endpoint) of their incident edges until
+the partition stabilises, then take the quotient multigraph.  A loop is
+treated exactly like an edge whose other endpoint lies in one's own class
+(they are indistinguishable under covering maps).
+
+Nodes of the quotient are frozensets of original nodes (the stable classes).
+An original loop, or a non-loop edge joining two nodes of the same class,
+becomes a loop of the quotient (degree +1, EC convention); pairs of classes
+joined by a colour become single quotient edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+from .multigraph import ECGraph
+
+Node = Hashable
+
+__all__ = ["stable_partition", "factor_graph", "stable_partition_po", "factor_graph_po"]
+
+
+def stable_partition(g: ECGraph) -> Dict[Node, int]:
+    """Coarsest stable colour-refinement partition of an EC-graph.
+
+    Two nodes end in the same class iff no sequence of local colour
+    observations distinguishes them; equivalently they have a common image in
+    every quotient.  Returns a map node -> class index (indices are dense and
+    deterministic for a fixed iteration order).
+    """
+    nodes = g.nodes()
+    # Initial partition: by sorted incident colour multiset.  Crucially the
+    # signature must NOT distinguish a loop from an ordinary edge whose
+    # other endpoint lies in the same class: under covering maps the two
+    # are indistinguishable (a loop lifts to edges between copies), and
+    # separating them would make the quotient larger than the true factor
+    # graph — e.g. the 2-lift of a loopy node that crosses one loop would
+    # wrongly refine into two classes.
+    cls: Dict[Node, int] = {}
+    sig0 = {
+        v: tuple(sorted(repr(e.color) for e in g.incident_edges(v))) for v in nodes
+    }
+    cls = _reindex({v: sig0[v] for v in nodes})
+    while True:
+        sig = {}
+        for v in nodes:
+            entries = []
+            for e in g.incident_edges(v):
+                other_cls = cls[e.other(v)]  # a loop contributes cls[v] itself
+                entries.append((repr(e.color), other_cls))
+            sig[v] = (cls[v], tuple(sorted(entries)))
+        new_cls = _reindex(sig)
+        if _same_partition(cls, new_cls):
+            return new_cls
+        cls = new_cls
+
+
+def _reindex(signature: Dict[Node, object]) -> Dict[Node, int]:
+    """Map arbitrary signatures to dense integer class indices."""
+    order = sorted({repr(s) for s in signature.values()})
+    index = {s: i for i, s in enumerate(order)}
+    return {v: index[repr(s)] for v, s in signature.items()}
+
+
+def _same_partition(a: Dict[Node, int], b: Dict[Node, int]) -> bool:
+    """Whether two class maps induce the same partition."""
+    pairing: Dict[int, int] = {}
+    for v in a:
+        if pairing.setdefault(a[v], b[v]) != b[v]:
+            return False
+    return len(set(a.values())) == len(set(b.values()))
+
+
+def factor_graph(g: ECGraph) -> Tuple[ECGraph, Dict[Node, FrozenSet[Node]]]:
+    """Compute the factor graph ``FG`` and the covering map ``G -> FG``.
+
+    Returns ``(fg, alpha)`` where ``fg``'s nodes are frozensets of original
+    nodes and ``alpha[v]`` is the class containing ``v``.  The construction
+    guarantees (and the tests verify via
+    :func:`repro.graphs.lifts.is_covering_map_ec`) that ``alpha`` is a
+    covering map.
+    """
+    cls = stable_partition(g)
+    classes: Dict[int, List[Node]] = {}
+    for v, c in cls.items():
+        classes.setdefault(c, []).append(v)
+    label: Dict[int, FrozenSet[Node]] = {c: frozenset(vs) for c, vs in classes.items()}
+    fg = ECGraph()
+    for c in classes:
+        fg.add_node(label[c])
+    for c, members in classes.items():
+        rep = members[0]
+        for e in g.incident_edges(rep):
+            color = e.color
+            existing = fg.edge_at(label[c], color)
+            other_c = cls[e.other(rep)]
+            if existing is not None:
+                # slot already filled when the other class was processed;
+                # consistency is checked rather than silently trusted.
+                if existing.other(label[c]) != label[other_c]:
+                    raise AssertionError(
+                        "colour refinement produced an inconsistent quotient"
+                    )
+                continue
+            if other_c == c:
+                fg.add_edge(label[c], label[c], color)  # quotient loop
+            else:
+                fg.add_edge(label[c], label[other_c], color)
+    alpha = {v: label[cls[v]] for v in g.nodes()}
+    return fg, alpha
+
+
+def stable_partition_po(g) -> Dict[Node, int]:
+    """Coarsest stable partition of a PO-graph (directed colour refinement).
+
+    Signatures track outgoing and incoming slots separately — the PO
+    analogue of :func:`stable_partition`, with the same loop caveat: a
+    directed loop is just an out-slot and an in-slot pointing to one's own
+    class, indistinguishable from arcs into the class.
+    """
+    nodes = g.nodes()
+    sig0 = {
+        v: (
+            tuple(sorted(repr(c) for c in g.out_colors(v))),
+            tuple(sorted(repr(c) for c in g.in_colors(v))),
+        )
+        for v in nodes
+    }
+    cls = _reindex({v: sig0[v] for v in nodes})
+    while True:
+        sig = {}
+        for v in nodes:
+            outs = sorted((repr(e.color), cls[e.head]) for e in g.out_edges(v))
+            ins = sorted((repr(e.color), cls[e.tail]) for e in g.in_edges(v))
+            sig[v] = (cls[v], tuple(outs), tuple(ins))
+        new_cls = _reindex(sig)
+        if _same_partition(cls, new_cls):
+            return new_cls
+        cls = new_cls
+
+
+def factor_graph_po(g):
+    """Factor graph of a PO-graph (Figure 3's right-hand example).
+
+    Returns ``(fg, alpha)`` where ``fg`` is a :class:`~repro.graphs.digraph.
+    POGraph` on frozenset classes and ``alpha`` the covering map; an arc
+    between two nodes of one class becomes a directed loop (degree +2, PO
+    convention).
+    """
+    from .digraph import POGraph
+
+    cls = stable_partition_po(g)
+    classes: Dict[int, List[Node]] = {}
+    for v, c in cls.items():
+        classes.setdefault(c, []).append(v)
+    label = {c: frozenset(vs) for c, vs in classes.items()}
+    fg = POGraph()
+    for c in classes:
+        fg.add_node(label[c])
+    for c, members in classes.items():
+        rep = members[0]
+        for e in g.out_edges(rep):
+            existing = fg.out_edge(label[c], e.color)
+            target = label[cls[e.head]]
+            if existing is not None:
+                if existing.head != target:
+                    raise AssertionError("inconsistent PO quotient (out-slot)")
+                continue
+            fg.add_edge(label[c], target, e.color)
+    # incoming slots of every class must now be consistent; verify.
+    for c, members in classes.items():
+        rep = members[0]
+        for e in g.in_edges(rep):
+            base = fg.in_edge(label[c], e.color)
+            if base is None or base.tail != label[cls[e.tail]]:
+                raise AssertionError("inconsistent PO quotient (in-slot)")
+    alpha = {v: label[cls[v]] for v in g.nodes()}
+    return fg, alpha

@@ -1,0 +1,108 @@
+"""Isomorphism tests for rooted, edge-coloured neighbourhoods.
+
+Property (P1) of the paper's lower-bound construction (Section 4.1) asserts
+that two radius-``i`` neighbourhoods are isomorphic as edge-coloured
+structures.  The adversary in :mod:`repro.core.adversary` verifies this claim
+mechanically on every inductive step using the functions here.
+
+For trees-with-loops (property (P3): the construction's graphs are trees once
+loops are ignored) a rooted, colour-preserving isomorphism is decided by a
+*canonical form*: proper edge colouring makes the recursive encoding of a
+rooted tree deterministic, so two balls are isomorphic iff their encodings are
+equal.  A general (slow) fallback via :mod:`networkx` VF2 is provided for
+arbitrary EC-graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+import networkx as nx
+
+from .multigraph import ECGraph
+from .neighborhoods import Ball
+
+Node = Hashable
+
+__all__ = [
+    "canonical_rooted_form",
+    "balls_isomorphic",
+    "rooted_isomorphic",
+    "ec_isomorphic",
+]
+
+_LOOP = "loop"
+_CUT = "cut"
+
+
+def canonical_rooted_form(g: ECGraph, root: Node, _from_eid: Optional[int] = None) -> Tuple:
+    """Canonical form of a rooted EC tree-with-loops.
+
+    Recursively encodes the structure below ``root``: for each incident edge
+    (other than the one we arrived by) the entry is ``(colour, "loop")`` for a
+    loop and ``(colour, <child encoding>)`` otherwise.  Entries are sorted by
+    colour; properness guarantees colours are distinct, so the encoding is
+    well-defined and two rooted trees-with-loops are colour-isomorphic iff
+    their canonical forms are equal.
+
+    Raises ``ValueError`` if the graph (ignoring loops) contains a cycle,
+    since the recursion would not terminate on such inputs.
+    """
+    entries = []
+    for e in g.incident_edges(root):
+        if _from_eid is not None and e.eid == _from_eid:
+            entries.append((e.color, _CUT))
+            continue
+        if e.is_loop:
+            entries.append((e.color, _LOOP))
+        else:
+            child = e.other(root)
+            entries.append((e.color, canonical_rooted_form(g, child, _from_eid=e.eid)))
+    return tuple(sorted(entries, key=lambda item: (repr(item[0]), repr(item[1]))))
+
+
+def rooted_isomorphic(g1: ECGraph, r1: Node, g2: ECGraph, r2: Node) -> bool:
+    """Whether two rooted EC-graphs admit a colour- and root-preserving isomorphism.
+
+    Fast path: if both graphs are trees-with-loops, compare canonical forms.
+    Otherwise fall back to VF2 on auxiliary simple graphs with a root marker.
+    """
+    if g1.is_tree_ignoring_loops() and g2.is_tree_ignoring_loops():
+        return canonical_rooted_form(g1, r1) == canonical_rooted_form(g2, r2)
+    return _vf2_isomorphic(g1, g2, roots=(r1, r2))
+
+
+def balls_isomorphic(b1: Ball, b2: Ball) -> bool:
+    """Whether two extracted balls are isomorphic as rooted EC structures."""
+    if b1.radius != b2.radius:
+        return False
+    return rooted_isomorphic(b1.graph, b1.root, b2.graph, b2.root)
+
+
+def ec_isomorphic(g1: ECGraph, g2: ECGraph) -> bool:
+    """Unrooted colour-preserving isomorphism between two EC-graphs (VF2)."""
+    return _vf2_isomorphic(g1, g2, roots=None)
+
+
+def _vf2_isomorphic(g1: ECGraph, g2: ECGraph, roots) -> bool:
+    """VF2 fallback; encodes loops and parallel edges via subdivision nodes."""
+    n1 = _to_marked_nx(g1, roots[0] if roots else None)
+    n2 = _to_marked_nx(g2, roots[1] if roots else None)
+    nm = nx.algorithms.isomorphism.categorical_node_match("kind", None)
+    return nx.is_isomorphic(n1, n2, node_match=nm)
+
+
+def _to_marked_nx(g: ECGraph, root) -> "nx.Graph":
+    """Encode an EC multigraph as a simple graph: every edge (including loops
+    and parallels) becomes a subdivision node labelled by its colour."""
+    out = nx.Graph()
+    for v in g.nodes():
+        kind = ("root",) if root is not None and v == root else ("node",)
+        out.add_node(("n", v), kind=kind)
+    for e in g.edges():
+        mid = ("e", e.eid)
+        out.add_node(mid, kind=("edge", e.color, e.is_loop))
+        out.add_edge(("n", e.u), mid)
+        if not e.is_loop:
+            out.add_edge(("n", e.v), mid)
+    return out

@@ -1,0 +1,54 @@
+"""Loopiness (paper, Definition 1).
+
+An edge-coloured graph ``G`` is *k-loopy* if every node of its factor graph
+``FG`` carries at least ``k`` loops; *loopy* means 1-loopy.  Loops measure a
+node's inability to break local symmetry: a node whose factor image has a
+loop always has (in every simple lift) a neighbour that any anonymous
+algorithm must treat identically — the engine behind Lemma 2.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .factor import factor_graph
+from .multigraph import ECGraph
+
+Node = Hashable
+
+__all__ = ["loopiness", "is_k_loopy", "is_loopy", "min_direct_loops"]
+
+
+def loopiness(g: ECGraph) -> int:
+    """The largest ``k`` such that ``g`` is k-loopy (0 if some factor node is loop-free).
+
+    Computed as the minimum loop count over the nodes of the factor graph.
+    """
+    if g.num_nodes() == 0:
+        return 0
+    fg, _ = factor_graph(g)
+    return min(fg.loop_count(v) for v in fg.nodes())
+
+
+def is_k_loopy(g: ECGraph, k: int) -> bool:
+    """Whether every factor-graph node of ``g`` has at least ``k`` loops."""
+    return loopiness(g) >= k
+
+
+def is_loopy(g: ECGraph) -> bool:
+    """Whether ``g`` is loopy (Definition 1 with ``k = 1``)."""
+    return is_k_loopy(g, 1)
+
+
+def min_direct_loops(g: ECGraph) -> int:
+    """Minimum loop count over the nodes of ``g`` itself (not the factor graph).
+
+    Always a lower bound on :func:`loopiness`, because loops survive the
+    quotient; the factor graph may have *more* loops (symmetric non-loop
+    edges collapse onto loops).  The lower-bound construction of Section 4
+    maintains its loop budget directly on the graphs, so this cheap bound is
+    what the adversary tracks round-to-round.
+    """
+    if g.num_nodes() == 0:
+        return 0
+    return min(g.loop_count(v) for v in g.nodes())

@@ -1,0 +1,373 @@
+"""Edge-coloured undirected multigraphs with loops (EC-graphs).
+
+This module provides :class:`ECGraph`, the fundamental substrate of the
+reproduction.  An EC-graph (paper, Section 3.3) is an undirected multigraph
+whose edges carry a *proper* edge colouring: any two edges sharing an endpoint
+have distinct colours.  Loops are allowed and follow the paper's convention
+(Section 3.5, Figure 3): a loop contributes **+1** to the degree of its
+endpoint and occupies exactly one colour slot there.
+
+Because the colouring is proper, each node has *at most one* incident edge of
+any given colour.  This rigidity is what makes the whole lower-bound machinery
+tractable: radius-``t`` views are determined by colour walks, universal covers
+unfold deterministically, and the simulator can use colours as ports.
+
+Example
+-------
+>>> g = ECGraph()
+>>> v = g.add_node("v")
+>>> e1 = g.add_edge("v", "v", color=1)   # a loop of colour 1
+>>> u = g.add_node("u")
+>>> e2 = g.add_edge("v", "u", color=2)
+>>> g.degree("v")
+2
+>>> sorted(g.incident_colors("v"))
+[1, 2]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+Node = Hashable
+Color = int
+EdgeId = int
+
+__all__ = ["Edge", "ECGraph", "ImproperColoringError"]
+
+
+class ImproperColoringError(ValueError):
+    """Raised when an edge insertion would violate proper edge colouring."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected coloured edge.
+
+    Attributes
+    ----------
+    eid:
+        Unique integer id of the edge within its graph.
+    u, v:
+        Endpoints.  For a loop, ``u == v``.
+    color:
+        The edge colour (a positive integer in all paper constructions).
+    """
+
+    eid: EdgeId
+    u: Node
+    v: Node
+    color: Color
+
+    @property
+    def is_loop(self) -> bool:
+        """Whether this edge is a loop (both endpoints equal)."""
+        return self.u == self.v
+
+    def endpoints(self) -> Tuple[Node, Node]:
+        """Return the pair of endpoints ``(u, v)``."""
+        return (self.u, self.v)
+
+    def other(self, x: Node) -> Node:
+        """Return the endpoint different from ``x`` (itself for a loop)."""
+        if x == self.u:
+            return self.v
+        if x == self.v:
+            return self.u
+        raise KeyError(f"{x!r} is not an endpoint of edge {self.eid}")
+
+
+class ECGraph:
+    """A properly edge-coloured undirected multigraph with loops.
+
+    The class enforces properness on insertion: adding an edge of colour ``c``
+    at a node that already has an incident edge of colour ``c`` raises
+    :class:`ImproperColoringError`.  A loop of colour ``c`` at ``v`` occupies
+    the single colour-``c`` slot of ``v`` and counts +1 towards ``degree(v)``.
+
+    Nodes may be any hashable values; edge ids are small integers assigned by
+    the graph and stable across copies.
+    """
+
+    def __init__(self) -> None:
+        self._edges: Dict[EdgeId, Edge] = {}
+        # node -> color -> edge id  (properness: one edge per colour per node)
+        self._slots: Dict[Node, Dict[Color, EdgeId]] = {}
+        self._next_eid: EdgeId = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node) -> Node:
+        """Add an isolated node (no-op if present).  Returns the node."""
+        self._slots.setdefault(v, {})
+        return v
+
+    def add_edge(self, u: Node, v: Node, color: Color, eid: Optional[EdgeId] = None) -> EdgeId:
+        """Add an edge of the given colour between ``u`` and ``v``.
+
+        ``u == v`` creates a loop.  Raises :class:`ImproperColoringError` if
+        either endpoint already has an incident edge of this colour.  An
+        explicit ``eid`` may be supplied (used when copying graphs); it must
+        be fresh.
+        """
+        self.add_node(u)
+        self.add_node(v)
+        if color in self._slots[u]:
+            raise ImproperColoringError(
+                f"node {u!r} already has an incident edge of colour {color}"
+            )
+        if u != v and color in self._slots[v]:
+            raise ImproperColoringError(
+                f"node {v!r} already has an incident edge of colour {color}"
+            )
+        if eid is None:
+            eid = self._next_eid
+        elif eid in self._edges:
+            raise ValueError(f"edge id {eid} already in use")
+        self._next_eid = max(self._next_eid, eid) + 1
+        edge = Edge(eid, u, v, color)
+        self._edges[eid] = edge
+        self._slots[u][color] = eid
+        if u != v:
+            self._slots[v][color] = eid
+        return eid
+
+    def remove_edge(self, eid: EdgeId) -> Edge:
+        """Remove the edge with id ``eid`` and return its record."""
+        edge = self._edges.pop(eid)
+        del self._slots[edge.u][edge.color]
+        if not edge.is_loop:
+            del self._slots[edge.v][edge.color]
+        return edge
+
+    def remove_node(self, v: Node) -> None:
+        """Remove node ``v`` together with all incident edges."""
+        for eid in [e.eid for e in self.incident_edges(v)]:
+            self.remove_edge(eid)
+        del self._slots[v]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[Node]:
+        """List of all nodes."""
+        return list(self._slots.keys())
+
+    def edges(self) -> List[Edge]:
+        """List of all edge records."""
+        return list(self._edges.values())
+
+    def edge(self, eid: EdgeId) -> Edge:
+        """The edge record with id ``eid``."""
+        return self._edges[eid]
+
+    def has_node(self, v: Node) -> bool:
+        """Whether ``v`` is a node of this graph."""
+        return v in self._slots
+
+    def has_edge_id(self, eid: EdgeId) -> bool:
+        """Whether an edge with id ``eid`` exists."""
+        return eid in self._edges
+
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._slots)
+
+    def num_edges(self) -> int:
+        """Number of edges (loops count once)."""
+        return len(self._edges)
+
+    def degree(self, v: Node) -> int:
+        """Degree of ``v``; loops count +1 (EC convention, paper Section 3.5)."""
+        return len(self._slots[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (0 for the empty graph)."""
+        return max((len(s) for s in self._slots.values()), default=0)
+
+    def incident_colors(self, v: Node) -> List[Color]:
+        """Colours of edges incident to ``v`` (each appears once)."""
+        return list(self._slots[v].keys())
+
+    def incident_edges(self, v: Node) -> List[Edge]:
+        """Edge records incident to ``v``, in colour order."""
+        return [self._edges[eid] for _, eid in sorted(self._slots[v].items())]
+
+    def edge_at(self, v: Node, color: Color) -> Optional[Edge]:
+        """The unique colour-``color`` edge at ``v``, or ``None``."""
+        eid = self._slots[v].get(color)
+        return None if eid is None else self._edges[eid]
+
+    def loops_at(self, v: Node) -> List[Edge]:
+        """All loops incident to ``v``, in colour order."""
+        return [e for e in self.incident_edges(v) if e.is_loop]
+
+    def loop_count(self, v: Node) -> int:
+        """Number of loops at ``v``."""
+        return len(self.loops_at(v))
+
+    def neighbors(self, v: Node) -> List[Node]:
+        """Distinct neighbours of ``v`` (``v`` itself if it has a loop)."""
+        seen: List[Node] = []
+        for e in self.incident_edges(v):
+            w = e.other(v)
+            if w not in seen:
+                seen.append(w)
+        return seen
+
+    def colors(self) -> List[Color]:
+        """Sorted list of all colours used in the graph."""
+        return sorted({e.color for e in self._edges.values()})
+
+    def is_simple(self) -> bool:
+        """Whether the graph has no loops and no parallel edges."""
+        seen = set()
+        for e in self._edges.values():
+            if e.is_loop:
+                return False
+            key = frozenset((e.u, e.v))
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    def non_loop_edges(self) -> List[Edge]:
+        """All edges that are not loops."""
+        return [e for e in self._edges.values() if not e.is_loop]
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: Node, max_dist: Optional[int] = None) -> Dict[Node, int]:
+        """Breadth-first distances from ``source``.
+
+        Loops never decrease distances (they connect a node to itself), so
+        they are ignored for distance purposes.  If ``max_dist`` is given,
+        exploration stops at that radius.
+        """
+        dist = {source: 0}
+        frontier = [source]
+        d = 0
+        while frontier and (max_dist is None or d < max_dist):
+            d += 1
+            nxt: List[Node] = []
+            for v in frontier:
+                for e in self.incident_edges(v):
+                    w = e.other(v)
+                    if w not in dist:
+                        dist[w] = d
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    def connected_components(self) -> List[List[Node]]:
+        """Connected components as lists of nodes."""
+        remaining = set(self._slots.keys())
+        comps: List[List[Node]] = []
+        while remaining:
+            src = next(iter(remaining))
+            comp = list(self.bfs_distances(src).keys())
+            comps.append(comp)
+            remaining.difference_update(comp)
+        return comps
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the empty graph is connected)."""
+        return len(self.connected_components()) <= 1
+
+    def is_tree_ignoring_loops(self) -> bool:
+        """Whether the graph with loops removed is a tree (paper property P3)."""
+        non_loops = self.non_loop_edges()
+        n = self.num_nodes()
+        if len(non_loops) != n - 1:
+            return False
+        return self.is_connected()
+
+    # ------------------------------------------------------------------
+    # copying / combining
+    # ------------------------------------------------------------------
+    def copy(self) -> "ECGraph":
+        """Deep copy preserving node labels and edge ids."""
+        g = ECGraph()
+        for v in self._slots:
+            g.add_node(v)
+        for e in self._edges.values():
+            g.add_edge(e.u, e.v, e.color, eid=e.eid)
+        return g
+
+    def relabel(self, mapping: Dict[Node, Node]) -> "ECGraph":
+        """Return a copy with nodes relabelled through ``mapping``.
+
+        ``mapping`` must be injective on the node set; nodes absent from the
+        mapping keep their labels.  Edge ids are preserved.
+        """
+        image = [mapping.get(v, v) for v in self._slots]
+        if len(set(image)) != len(image):
+            raise ValueError("relabelling is not injective")
+        g = ECGraph()
+        for v in self._slots:
+            g.add_node(mapping.get(v, v))
+        for e in self._edges.values():
+            g.add_edge(mapping.get(e.u, e.u), mapping.get(e.v, e.v), e.color, eid=e.eid)
+        return g
+
+    def disjoint_union(self, other: "ECGraph", tags: Tuple[Any, Any] = (0, 1)) -> "ECGraph":
+        """Disjoint union; nodes become ``(tag, original_label)`` pairs.
+
+        Edge ids are reassigned (ids from ``self`` first, then ``other``).
+        """
+        g = ECGraph()
+        for v in self._slots:
+            g.add_node((tags[0], v))
+        for v in other._slots:
+            g.add_node((tags[1], v))
+        for e in self.edges():
+            g.add_edge((tags[0], e.u), (tags[0], e.v), e.color)
+        for e in other.edges():
+            g.add_edge((tags[1], e.u), (tags[1], e.v), e.color)
+        return g
+
+    def induced_subgraph(self, nodes: Iterable[Node]) -> "ECGraph":
+        """Subgraph induced by ``nodes`` (keeps edges with both ends inside)."""
+        keep = set(nodes)
+        g = ECGraph()
+        for v in keep:
+            if v not in self._slots:
+                raise KeyError(f"{v!r} is not a node")
+            g.add_node(v)
+        for e in self._edges.values():
+            if e.u in keep and e.v in keep:
+                g.add_edge(e.u, e.v, e.color, eid=e.eid)
+        return g
+
+    # ------------------------------------------------------------------
+    # validation / dunder
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency; raises ``AssertionError`` on corruption."""
+        for v, slots in self._slots.items():
+            for color, eid in slots.items():
+                e = self._edges[eid]
+                assert e.color == color
+                assert v in (e.u, e.v)
+        for e in self._edges.values():
+            assert self._slots[e.u][e.color] == e.eid
+            assert self._slots[e.v][e.color] == e.eid
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._slots
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ECGraph(n={self.num_nodes()}, m={self.num_edges()}, "
+            f"loops={sum(1 for e in self._edges.values() if e.is_loop)}, "
+            f"colors={self.colors()})"
+        )

@@ -1,0 +1,71 @@
+"""Radius-``t`` neighbourhoods ``tau_t(G, v)`` (paper, Section 3.1).
+
+The paper defines the *distance of an edge* ``{u, w}`` from ``v`` as
+``min(dist(v, u), dist(v, w)) + 1`` and lets ``tau_t(G, v)`` consist of the
+nodes and edges of ``G`` within distance ``t`` of ``v``.  Consequently:
+
+* ``tau_0(G, v)`` is the bare node ``v`` — even loops at ``v`` are at
+  distance 1 and therefore excluded (this is exactly why the base case of the
+  paper's Section 4 works);
+* ``tau_t`` contains all nodes at distance at most ``t`` and all edges with
+  an endpoint at distance at most ``t - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+from .multigraph import ECGraph
+
+Node = Hashable
+
+__all__ = ["Ball", "ball"]
+
+
+@dataclass
+class Ball:
+    """A rooted radius-``t`` neighbourhood extracted from an EC-graph.
+
+    Attributes
+    ----------
+    graph:
+        The subgraph ``tau_t(G, v)`` (an :class:`ECGraph`, same labels/ids).
+    root:
+        The centre node ``v``.
+    radius:
+        The radius ``t``.
+    distances:
+        BFS distance of each ball node from the root.
+    """
+
+    graph: ECGraph
+    root: Node
+    radius: int
+    distances: Dict[Node, int]
+
+
+def ball(g: ECGraph, v: Node, t: int) -> Ball:
+    """Extract ``tau_t(g, v)`` following the paper's edge-distance rule.
+
+    Nodes at distance at most ``t`` are included; an edge is included iff one
+    of its endpoints lies at distance at most ``t - 1`` (equivalently, the
+    edge's distance ``min dist + 1`` is at most ``t``).  Loops at a node of
+    distance ``d`` have distance ``d + 1``.
+    """
+    if t < 0:
+        raise ValueError("radius must be non-negative")
+    dist = g.bfs_distances(v, max_dist=t)
+    sub = ECGraph()
+    for w in dist:
+        sub.add_node(w)
+    if t >= 1:
+        for e in g.edges():
+            du = dist.get(e.u)
+            dv = dist.get(e.v)
+            candidates = [d for d in (du, dv) if d is not None]
+            if not candidates:
+                continue
+            if min(candidates) <= t - 1 and du is not None and dv is not None:
+                sub.add_edge(e.u, e.v, e.color, eid=e.eid)
+    return Ball(graph=sub, root=v, radius=t, distances=dist)

@@ -1,0 +1,57 @@
+"""Bridges between :class:`repro.graphs.multigraph.ECGraph` and networkx.
+
+networkx is used for LP/matching cross-checks, VF2 isomorphism fallbacks and
+random graph generation; these helpers convert losslessly in both directions
+(edge colours are stored in the ``color`` attribute, edge ids in ``eid``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from .multigraph import ECGraph
+
+Node = Hashable
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(g: ECGraph) -> "nx.MultiGraph":
+    """Convert an EC-graph to a networkx MultiGraph.
+
+    Loops become networkx self-loops; each edge stores ``color`` and ``eid``
+    attributes.  Note networkx degree counts self-loops twice, unlike the EC
+    convention — use the original graph for degree queries.
+    """
+    out = nx.MultiGraph()
+    out.add_nodes_from(g.nodes())
+    for e in g.edges():
+        out.add_edge(e.u, e.v, key=e.eid, color=e.color, eid=e.eid)
+    return out
+
+
+def from_networkx(nxg: "nx.MultiGraph") -> ECGraph:
+    """Convert a networkx (Multi)Graph with ``color`` edge attributes back.
+
+    Edges lacking a ``color`` attribute are coloured greedily afterwards in
+    insertion order.  ``eid`` attributes are respected when present.
+    """
+    g = ECGraph()
+    for v in nxg.nodes():
+        g.add_node(v)
+    uncolored = []
+    for u, v, data in nxg.edges(data=True):
+        color = data.get("color")
+        if color is None:
+            uncolored.append((u, v))
+        else:
+            g.add_edge(u, v, color, eid=data.get("eid"))
+    if uncolored:
+        from .families import greedy_edge_coloring
+
+        base = max([c for c in g.colors() if isinstance(c, int)], default=0)
+        for (u, v), c in greedy_edge_coloring(uncolored).items():
+            g.add_edge(u, v, base + c)
+    return g

@@ -1,0 +1,122 @@
+"""Port numbering <-> edge colouring conversions (paper, Figure 2).
+
+The paper treats PO-graphs as edge-coloured digraphs, which is equivalent to
+the traditional port-numbering definition:
+
+* **PO1 -> PO2** (:func:`po_from_port_numbering`): a port-numbered, oriented
+  simple graph becomes an edge-coloured digraph by colouring each arc
+  ``(u, v)`` with the pair ``(i, j)`` where ``v`` is the ``i``-th neighbour of
+  ``u`` and ``u`` is the ``j``-th neighbour of ``v``.
+* **PO2 -> PO1** (:func:`port_numbering_from_po`): an edge-coloured digraph
+  yields a port numbering by ordering, at every node, first the outgoing arcs
+  by colour and then the incoming arcs by colour.
+
+The module also provides :func:`po_double_from_ec`, the input transformation
+of the EC <= PO simulation (paper, Section 5.1 and Figure 8): every undirected
+colour-``c`` edge ``{u, v}`` of an EC-graph is interpreted as the two directed
+arcs ``(u, v)`` and ``(v, u)`` of colour ``c``; an EC loop becomes a single
+directed loop.  Degrees exactly double (EC loops count +1, PO loops +2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from .digraph import POGraph
+from .multigraph import ECGraph
+
+Node = Hashable
+
+__all__ = [
+    "po_from_port_numbering",
+    "port_numbering_from_po",
+    "po_double_from_ec",
+]
+
+
+def po_from_port_numbering(
+    ports: Dict[Node, List[Node]],
+    orientation: Set[Tuple[Node, Node]],
+) -> POGraph:
+    """Build a PO-graph from a port numbering and an orientation (PO1 -> PO2).
+
+    Parameters
+    ----------
+    ports:
+        For each node, the ordered list of its neighbours; the ``i``-th entry
+        (1-based in the paper, 0-based here) is the neighbour behind port
+        ``i``.  The numbering must be symmetric as a graph: ``v in ports[u]``
+        iff ``u in ports[v]``.
+    orientation:
+        A set of ordered pairs ``(u, v)``, one per undirected edge, giving the
+        direction of each edge.
+
+    Returns
+    -------
+    POGraph
+        The edge-coloured digraph in which the arc for edge ``(u, v)``
+        carries the colour ``(i, j)``: ``v`` is behind port ``i`` of ``u`` and
+        ``u`` behind port ``j`` of ``v`` (ports reported 1-based, as in
+        Figure 2a of the paper).
+    """
+    g = POGraph()
+    for v in ports:
+        g.add_node(v)
+    port_of: Dict[Tuple[Node, Node], int] = {}
+    for u, nbrs in ports.items():
+        for i, w in enumerate(nbrs, start=1):
+            if (u, w) in port_of:
+                raise ValueError(f"duplicate neighbour {w!r} in port list of {u!r}")
+            port_of[(u, w)] = i
+    for (u, v) in orientation:
+        if (u, v) not in port_of or (v, u) not in port_of:
+            raise ValueError(f"oriented edge ({u!r}, {v!r}) missing from port lists")
+        color = (port_of[(u, v)], port_of[(v, u)])
+        g.add_edge(u, v, color)
+    return g
+
+
+def port_numbering_from_po(g: POGraph) -> Dict[Node, List[Tuple[int, str]]]:
+    """Derive a port numbering from a PO-graph (PO2 -> PO1, Figure 2b).
+
+    For each node the incident arc slots are ordered: first all outgoing arcs
+    by colour, then all incoming arcs by colour.  The returned mapping sends
+    each node to its ordered list of ``(edge_id, role)`` pairs where ``role``
+    is ``"out"`` or ``"in"``; the list position (0-based) is the port number.
+    A directed loop appears twice: once as an out-port, once as an in-port.
+    """
+    numbering: Dict[Node, List[Tuple[int, str]]] = {}
+    for v in g.nodes():
+        slots: List[Tuple[int, str]] = []
+        for e in g.out_edges(v):
+            slots.append((e.eid, "out"))
+        for e in g.in_edges(v):
+            slots.append((e.eid, "in"))
+        numbering[v] = slots
+    return numbering
+
+
+def po_double_from_ec(g: ECGraph) -> POGraph:
+    """Interpret an EC-graph as a PO-graph by doubling edges (Section 5.1).
+
+    Every undirected colour-``c`` edge ``{u, v}`` becomes the two arcs
+    ``(u, v)`` and ``(v, u)``, both of colour ``c``.  An EC loop of colour
+    ``c`` at ``v`` becomes one directed loop at ``v`` of colour ``c``.  The
+    PO degree of every node is exactly twice its EC degree, so an EC-graph of
+    maximum degree ``D/2`` produces a PO-graph of maximum degree ``D``.
+
+    The arc ids record provenance: the returned graph's arcs can be matched
+    back to original edge ids via :func:`ec_edge_of_arc` conventions — arc
+    ``2 * eid`` runs ``u -> v`` and arc ``2 * eid + 1`` runs ``v -> u`` for a
+    non-loop edge ``eid``; a loop ``eid`` maps to the single arc ``2 * eid``.
+    """
+    h = POGraph()
+    for v in g.nodes():
+        h.add_node(v)
+    for e in g.edges():
+        if e.is_loop:
+            h.add_edge(e.u, e.u, e.color, eid=2 * e.eid)
+        else:
+            h.add_edge(e.u, e.v, e.color, eid=2 * e.eid)
+            h.add_edge(e.v, e.u, e.color, eid=2 * e.eid + 1)
+    return h

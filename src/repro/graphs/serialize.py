@@ -1,0 +1,100 @@
+"""JSON serialisation for EC-graphs and lower-bound witnesses.
+
+Hard instances produced by the adversary are valuable artefacts (regression
+inputs, teaching material, cross-implementation checks); this module makes
+them portable.  Node labels are arbitrary nested tuples/strings in the
+construction, so they are encoded losslessly through a tagged scheme.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, Hashable, List
+
+from .multigraph import ECGraph
+
+Node = Hashable
+
+__all__ = [
+    "graph_to_json",
+    "graph_from_json",
+    "witness_step_to_json",
+]
+
+
+def _encode_label(label: Any) -> Any:
+    """Encode a node label (nested tuples of str/int) as tagged JSON."""
+    if isinstance(label, tuple):
+        return {"t": [_encode_label(x) for x in label]}
+    if isinstance(label, (str, int, bool)) or label is None:
+        return label
+    raise TypeError(f"cannot serialise node label of type {type(label).__name__}")
+
+
+def _decode_label(data: Any) -> Any:
+    if isinstance(data, dict) and set(data.keys()) == {"t"}:
+        return tuple(_decode_label(x) for x in data["t"])
+    return data
+
+
+def graph_to_json(g: ECGraph) -> str:
+    """Serialise an EC-graph (nodes, edges with ids and colours) to JSON.
+
+    Colours must be JSON-representable (ints/strings — all families and
+    the adversary use ints).
+    """
+    payload = {
+        "format": "repro-ecgraph-v1",
+        "nodes": [_encode_label(v) for v in g.nodes()],
+        "edges": [
+            {
+                "eid": e.eid,
+                "u": _encode_label(e.u),
+                "v": _encode_label(e.v),
+                "color": e.color,
+            }
+            for e in g.edges()
+        ],
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def graph_from_json(text: str) -> ECGraph:
+    """Inverse of :func:`graph_to_json`; validates the format tag."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-ecgraph-v1":
+        raise ValueError(f"unknown format {payload.get('format')!r}")
+    g = ECGraph()
+    for label in payload["nodes"]:
+        g.add_node(_decode_label(label))
+    for edge in payload["edges"]:
+        g.add_edge(
+            _decode_label(edge["u"]),
+            _decode_label(edge["v"]),
+            edge["color"],
+            eid=edge["eid"],
+        )
+    return g
+
+
+def witness_step_to_json(step) -> str:
+    """Serialise a :class:`~repro.core.witness.StepWitness` with its graphs.
+
+    Weights are stored as exact ``numerator/denominator`` strings.
+    """
+    payload = {
+        "format": "repro-witness-step-v1",
+        "index": step.index,
+        "side": step.side,
+        "color": step.color,
+        "node_g": _encode_label(step.node_g),
+        "node_h": _encode_label(step.node_h),
+        "weight_g": str(Fraction(step.weight_g)),
+        "weight_h": str(Fraction(step.weight_h)),
+        "balls_isomorphic": step.balls_isomorphic,
+        "loop_budget": step.loop_budget,
+        "graph_g": json.loads(graph_to_json(step.graph_g)),
+        "graph_h": json.loads(graph_to_json(step.graph_h)),
+    }
+    return json.dumps(payload, sort_keys=True)

@@ -1,0 +1,47 @@
+"""LOCAL-model simulator: networks, algorithm interfaces, views, identifiers."""
+
+from .algorithm import (
+    DistributedAlgorithm,
+    ECWeightAlgorithm,
+    POWeightAlgorithm,
+    SimulatedECWeights,
+    SimulatedPOWeights,
+)
+from .context import NodeContext
+from .identifiers import (
+    assign_ids_respecting_order,
+    interpolate_assignments,
+    order_respecting_assignments,
+    relabel_single_node,
+    sparse_subset,
+)
+from .runtime import ECNetwork, IDNetwork, Network, PONetwork, RunResult, run, run_rounds
+from .randomized import RandomTape, my_coins, tape_globals, uniform_tape
+from .views import FullInformationEC, ec_view_tree
+
+__all__ = [
+    "DistributedAlgorithm",
+    "ECWeightAlgorithm",
+    "SimulatedECWeights",
+    "POWeightAlgorithm",
+    "SimulatedPOWeights",
+    "NodeContext",
+    "assign_ids_respecting_order",
+    "interpolate_assignments",
+    "order_respecting_assignments",
+    "relabel_single_node",
+    "sparse_subset",
+    "ECNetwork",
+    "IDNetwork",
+    "Network",
+    "PONetwork",
+    "RunResult",
+    "run",
+    "run_rounds",
+    "RandomTape",
+    "my_coins",
+    "tape_globals",
+    "uniform_tape",
+    "FullInformationEC",
+    "ec_view_tree",
+]

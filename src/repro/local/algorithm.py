@@ -1,0 +1,201 @@
+"""Algorithm interfaces for the LOCAL simulator.
+
+Two complementary presentations of a distributed algorithm are used in the
+paper and mirrored here:
+
+* **State machines** (:class:`DistributedAlgorithm`) — the operational view
+  of Section 1.4: per round every node sends a message on each port, receives
+  one on each port, and updates its state; eventually it announces an output.
+* **Functions of views** (paper, Eq. (1)) — a ``t``-time algorithm is just a
+  map ``A(tau_t(G, v))``.  For the lower-bound machinery the only thing that
+  matters is an algorithm's input/output behaviour on whole graphs, captured
+  by :class:`ECWeightAlgorithm`: a deterministic, lift-invariant assignment
+  of a weight to every incident colour of every node.
+
+:class:`SimulatedECWeights` adapts the former to the latter by running the
+simulator.  Message-passing algorithms that consult only ports, messages and
+declared globals are automatically lift-invariant — a loop's echo semantics
+equals running on any simple lift (the neighbour across a loop is a
+symmetric copy of oneself); the property-based tests verify this against
+random 2-lifts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Any, Dict, Hashable, Optional
+
+from ..graphs.multigraph import ECGraph
+from .context import NodeContext, Port
+
+Node = Hashable
+Color = Hashable
+
+__all__ = [
+    "DistributedAlgorithm",
+    "ECWeightAlgorithm",
+    "SimulatedECWeights",
+    "POWeightAlgorithm",
+    "SimulatedPOWeights",
+]
+
+
+class DistributedAlgorithm(ABC):
+    """A synchronous message-passing node algorithm.
+
+    Subclasses define the per-node behaviour; the runtime in
+    :mod:`repro.local.runtime` executes it on every node of a network in
+    lock step.  ``model`` declares which network kinds the algorithm expects
+    (``"EC"``, ``"PO"`` or ``"ID"``).
+    """
+
+    model: str = "EC"
+
+    @abstractmethod
+    def initial_state(self, ctx: NodeContext) -> Any:
+        """State of a node before the first round."""
+
+    @abstractmethod
+    def send(self, state: Any, ctx: NodeContext) -> Dict[Port, Any]:
+        """Messages for this round keyed by port; omitted ports send nothing."""
+
+    @abstractmethod
+    def receive(self, state: Any, ctx: NodeContext, inbox: Dict[Port, Any]) -> Any:
+        """Consume this round's inbox (port -> message) and return the new state."""
+
+    @abstractmethod
+    def output(self, state: Any, ctx: NodeContext) -> Optional[Any]:
+        """The node's local output, or ``None`` while still running."""
+
+    def snapshot(self, state: Any, ctx: NodeContext) -> Optional[Any]:
+        """Provisional output for a node cut off mid-run (see ``run_rounds``).
+
+        Algorithms whose state carries a meaningful partial answer (e.g. the
+        current edge weights of the proposal dynamics) override this; the
+        default reports nothing.
+        """
+        return self.output(state, ctx)
+
+
+class ECWeightAlgorithm(ABC):
+    """A deterministic EC-model algorithm producing per-colour edge weights.
+
+    This is the interface the Section 4 adversary consumes: evaluating the
+    algorithm on a whole EC-graph yields, for every node, a mapping from each
+    incident edge colour to the weight the node announces for that edge.
+    (A node's local output in the maximal-FM problem is exactly "the weight
+    ``y(e)`` of each incident edge ``e``" — Section 1.4.)
+
+    Implementations must be *lift-invariant* (paper condition (2)): the
+    output at a node depends only on its view, never on node labels.  Every
+    algorithm that is honestly local satisfies this by construction; the
+    helper :func:`repro.core.saturation.check_lift_invariance` tests it.
+    """
+
+    #: the algorithm's declared run-time as a function of the graph; purely
+    #: informational (used by benches to report round counts).
+    name: str = "ec-algorithm"
+
+    @abstractmethod
+    def run_on(self, g: ECGraph) -> Dict[Node, Dict[Color, Fraction]]:
+        """Evaluate on ``g``; returns ``{node: {incident colour: weight}}``."""
+
+    def rounds_used(self, g: ECGraph) -> Optional[int]:
+        """Communication rounds the last/typical run takes, if known."""
+        return None
+
+
+class SimulatedECWeights(ECWeightAlgorithm):
+    """Adapter: run a :class:`DistributedAlgorithm` in the simulator.
+
+    Parameters
+    ----------
+    algorithm:
+        An EC-model state-machine algorithm whose node outputs are mappings
+        ``{colour: weight}``.
+    globals_factory:
+        Optional callable ``g -> dict`` producing the globally known
+        parameters for a run (e.g. the number of edge colours).
+    max_rounds_factory:
+        Optional callable ``g -> int`` bounding the run length.
+    """
+
+    def __init__(self, algorithm: DistributedAlgorithm, globals_factory=None, max_rounds_factory=None, name: Optional[str] = None):
+        if algorithm.model != "EC":
+            raise ValueError("SimulatedECWeights requires an EC-model algorithm")
+        self.algorithm = algorithm
+        self.globals_factory = globals_factory or (lambda g: {})
+        self.max_rounds_factory = max_rounds_factory or (lambda g: 4 * (len(g.colors()) + g.num_nodes() + 1))
+        self.name = name or type(algorithm).__name__
+        self._last_rounds: Optional[int] = None
+        #: total messages delivered in the most recent run (all rounds)
+        self.last_message_total: Optional[int] = None
+
+    def run_on(self, g: ECGraph) -> Dict[Node, Dict[Color, Fraction]]:
+        from .runtime import ECNetwork, run
+
+        network = ECNetwork(g, globals_=self.globals_factory(g))
+        result = run(network, self.algorithm, max_rounds=self.max_rounds_factory(g))
+        if not result.halted:
+            raise RuntimeError(
+                f"{self.name} did not halt within {self.max_rounds_factory(g)} rounds"
+            )
+        self._last_rounds = result.rounds
+        self.last_message_total = sum(result.message_counts)
+        return {v: dict(out) for v, out in result.outputs.items()}
+
+    def rounds_used(self, g: ECGraph) -> Optional[int]:
+        """Rounds consumed by the most recent :meth:`run_on` call."""
+        return self._last_rounds
+
+
+class POWeightAlgorithm(ABC):
+    """A deterministic PO-model algorithm producing per-slot arc weights.
+
+    The PO analogue of :class:`ECWeightAlgorithm`: evaluating on a PO-graph
+    yields, for every node, a mapping from each incident slot —
+    ``("out", c)`` or ``("in", c)`` — to the weight announced for the arc in
+    that slot.  A directed loop occupies both slots and the two announced
+    values must agree (it is a single arc).  Implementations must be
+    lift-invariant.
+    """
+
+    name: str = "po-algorithm"
+
+    @abstractmethod
+    def run_on(self, g) -> Dict[Node, Dict[Any, Fraction]]:
+        """Evaluate on a :class:`~repro.graphs.digraph.POGraph`."""
+
+    def rounds_used(self, g) -> Optional[int]:
+        """Communication rounds of the last/typical run, if known."""
+        return None
+
+
+class SimulatedPOWeights(POWeightAlgorithm):
+    """Adapter: run a PO-model :class:`DistributedAlgorithm` in the simulator."""
+
+    def __init__(self, algorithm: DistributedAlgorithm, globals_factory=None, max_rounds_factory=None, name: Optional[str] = None):
+        if algorithm.model != "PO":
+            raise ValueError("SimulatedPOWeights requires a PO-model algorithm")
+        self.algorithm = algorithm
+        self.globals_factory = globals_factory or (lambda g: {})
+        self.max_rounds_factory = max_rounds_factory or (lambda g: 4 * (len(g.colors()) + g.num_nodes() + 1))
+        self.name = name or type(algorithm).__name__
+        self._last_rounds: Optional[int] = None
+
+    def run_on(self, g) -> Dict[Node, Dict[Any, Fraction]]:
+        from .runtime import PONetwork, run
+
+        network = PONetwork(g, globals_=self.globals_factory(g))
+        result = run(network, self.algorithm, max_rounds=self.max_rounds_factory(g))
+        if not result.halted:
+            raise RuntimeError(
+                f"{self.name} did not halt within {self.max_rounds_factory(g)} rounds"
+            )
+        self._last_rounds = result.rounds
+        return {v: dict(out) for v, out in result.outputs.items()}
+
+    def rounds_used(self, g) -> Optional[int]:
+        """Rounds consumed by the most recent :meth:`run_on` call."""
+        return self._last_rounds

@@ -1,0 +1,53 @@
+"""Per-node execution context for the LOCAL simulator.
+
+A node algorithm observes only what its model permits (paper, Sections 1.4
+and 3): its ports (edge colours for EC, directed colour slots for PO,
+neighbour identifiers for ID), its own identifier in the ID model, and any
+globally known parameters (the LOCAL model traditionally grants knowledge of
+global bounds such as the maximum degree ``Delta`` or the palette size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+Node = Hashable
+Port = Hashable
+
+__all__ = ["NodeContext"]
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """What a single node can see locally.
+
+    Attributes
+    ----------
+    node:
+        The node's label.  Anonymous-model algorithms must not use it as
+        information (it is exposed for bookkeeping only); the test-suite's
+        lift-invariance checks catch violations.
+    model:
+        One of ``"EC"``, ``"PO"``, ``"ID"``.
+    ports:
+        Deterministically ordered tuple of port labels.  EC: incident edge
+        colours (a loop contributes its colour once, and messages sent on it
+        echo back).  PO: pairs ``("out", c)`` / ``("in", c)`` (a directed
+        loop contributes both).  ID: identifiers of adjacent nodes.
+    identifier:
+        The node's unique identifier (ID model only, else ``None``).
+    globals:
+        Read-only globally known parameters, e.g. ``{"delta": 5}``.
+    """
+
+    node: Node
+    model: str
+    ports: Tuple[Port, ...]
+    identifier: Optional[int] = None
+    globals: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degree(self) -> int:
+        """The node's degree in its model's convention (= number of ports)."""
+        return len(self.ports)

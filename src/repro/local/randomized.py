@@ -1,0 +1,53 @@
+"""Randomised LOCAL algorithms as deterministic algorithms plus a tape.
+
+The paper's Appendix B treats a randomised algorithm ``A`` as a family of
+deterministic algorithms ``A_rho`` indexed by an assignment
+``rho : V(G) -> {0,1}*`` of random strings to nodes.  We mirror that view
+exactly: a *tape* maps each node to an integer (its random string), is
+injected into the network's globals, and node algorithms read their own
+entry through :func:`my_coins`.  Everything else — simulation, verification,
+derandomisation searches — then operates on plain deterministic algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, Iterable
+
+from .context import NodeContext
+
+Node = Hashable
+RandomTape = Dict[Node, int]
+
+__all__ = ["RandomTape", "uniform_tape", "tape_globals", "my_coins"]
+
+#: the globals key under which a tape travels through the network
+TAPE_KEY = "random_tape"
+
+
+def uniform_tape(nodes: Iterable[Node], rng: random.Random, bits: int = 30) -> RandomTape:
+    """Draw an independent ``bits``-bit string for every node.
+
+    ``bits`` controls the collision probability — the knob the Appendix B
+    demonstrations turn to make failures likely (small ``bits``) or
+    vanishing (large ``bits``).
+    """
+    return {v: rng.getrandbits(bits) for v in nodes}
+
+
+def tape_globals(tape: RandomTape, **extra: Any) -> Dict[str, Any]:
+    """Package a tape (plus any other globals) for a network constructor."""
+    out: Dict[str, Any] = {TAPE_KEY: dict(tape)}
+    out.update(extra)
+    return out
+
+
+def my_coins(ctx: NodeContext) -> int:
+    """The executing node's private random string.
+
+    Reading one's own tape entry is the legitimate use of ``ctx.node`` in
+    anonymous models: the coins are private inputs, not identity.  Raises
+    ``KeyError`` if the network was built without a tape.
+    """
+    tape: RandomTape = ctx.globals[TAPE_KEY]
+    return tape[ctx.node]

@@ -1,0 +1,79 @@
+"""Fractional and integral matching library: datatypes, verifiers, solvers,
+distributed algorithms and baselines (paper, Sections 1.1-1.2)."""
+
+from .fm import (
+    FractionalMatching,
+    InconsistentOutputError,
+    fm_from_node_outputs,
+    po_node_load,
+)
+from .greedy_color import GreedyColorFM, greedy_color_algorithm
+from .integral import (
+    greedy_matching_by_color,
+    panconesi_rizzi_matching,
+    randomized_matching,
+    validate_maximal_matching,
+)
+from .kuhn_approx import DoublingFM, doubling_algorithm, initial_exponent
+from .lp import (
+    fractional_matching_number_exact,
+    max_weight_fm_lp,
+    min_fractional_vertex_cover_lp,
+)
+from .naive import DegreeSplitFM, ParityTiltFM, SelfishFM, ZeroFM
+from .proposal import ProposalFM, proposal_algorithm
+from .random_priority import (
+    RandomPriorityEC,
+    RandomPriorityFM,
+    failure_rate,
+    id_output_is_valid_fm,
+    run_random_priority_id,
+)
+from .vertex_cover import is_vertex_cover, vertex_cover_from_fm, vertex_cover_quality
+from .sequential import greedy_maximal_fm, greedy_maximal_matching, matching_as_fm
+from .verify import (
+    LocalFMVerifier,
+    VerifierVerdict,
+    check_maximal_fm,
+    verify_distributed,
+)
+
+__all__ = [
+    "FractionalMatching",
+    "InconsistentOutputError",
+    "fm_from_node_outputs",
+    "po_node_load",
+    "GreedyColorFM",
+    "greedy_color_algorithm",
+    "greedy_matching_by_color",
+    "panconesi_rizzi_matching",
+    "randomized_matching",
+    "validate_maximal_matching",
+    "DoublingFM",
+    "doubling_algorithm",
+    "initial_exponent",
+    "fractional_matching_number_exact",
+    "max_weight_fm_lp",
+    "min_fractional_vertex_cover_lp",
+    "DegreeSplitFM",
+    "ParityTiltFM",
+    "SelfishFM",
+    "ZeroFM",
+    "ProposalFM",
+    "proposal_algorithm",
+    "RandomPriorityEC",
+    "RandomPriorityFM",
+    "failure_rate",
+    "id_output_is_valid_fm",
+    "run_random_priority_id",
+    "is_vertex_cover",
+    "vertex_cover_from_fm",
+    "vertex_cover_quality",
+    "greedy_maximal_fm",
+    "greedy_maximal_matching",
+    "matching_as_fm",
+    "LocalFMVerifier",
+    "VerifierVerdict",
+    "check_maximal_fm",
+    "verify_distributed",
+]

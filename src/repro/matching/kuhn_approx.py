@@ -1,0 +1,111 @@
+"""Logarithmic-time constant-factor approximation of maximum-weight FM.
+
+Context for the paper's Section 1.2: Kuhn, Moscibroda and Wattenhofer show
+that (1-eps)-approximate maximum-weight FMs take ``Theta(log Delta)`` rounds
+— exponentially faster than the ``Theta(Delta)`` cost of *maximal* FMs that
+Theorem 1 establishes.  To reproduce that contrast (experiment E3) we
+implement the classical *doubling dynamics*, a simplified stand-in for the
+Kuhn et al. machinery (documented substitution in DESIGN.md):
+
+    start every edge at weight ``2^-L`` with ``2^L >= Delta``; each round,
+    every edge whose both endpoints carry load < 1/2 doubles its weight;
+    a node with load >= 1/2 freezes all its incident edges.
+
+After at most ``L + 1 = O(log Delta)`` rounds no edge is active.  The result
+is feasible (a doubling round at most doubles a sub-1/2 load) and every edge
+ends with an endpoint of load >= 1/2, which yields a constant-factor
+approximation of the maximum-weight FM (the benches measure ratios of ~0.5+
+against the LP optimum).  Port-symmetric: runs in EC, PO and ID models.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, Hashable, Optional
+
+from ..local.algorithm import DistributedAlgorithm, SimulatedECWeights
+from ..local.context import NodeContext
+
+Node = Hashable
+
+__all__ = ["DoublingFM", "doubling_algorithm", "initial_exponent"]
+
+HALF = Fraction(1, 2)
+
+
+def initial_exponent(delta: int) -> int:
+    """Smallest ``L`` with ``2**L >= max(delta, 1)``."""
+    L = 0
+    while (1 << L) < max(delta, 1):
+        L += 1
+    return L
+
+
+class DoublingFM(DistributedAlgorithm):
+    """State machine for the doubling dynamics.
+
+    Global knowledge: ``ctx.globals["delta"]`` — the maximum degree, used to
+    pick the starting weight ``2^-L`` (standard for the LOCAL model).  Each
+    round every node tells each active port whether it is *frozen*
+    (load >= 1/2); an edge doubles iff both sides are unfrozen.
+    """
+
+    def __init__(self, model: str = "EC"):
+        if model not in ("EC", "PO", "ID"):
+            raise ValueError(f"unsupported model {model!r}")
+        self.model = model
+
+    def initial_state(self, ctx: NodeContext) -> Dict[str, Any]:
+        L = initial_exponent(int(ctx.globals["delta"]))
+        start = Fraction(1, 1 << L)
+        return {
+            "weights": {p: start for p in ctx.ports},
+            "active": set(ctx.ports),
+            "rounds_left": L + 1,
+        }
+
+    def _load(self, state: Dict[str, Any]) -> Fraction:
+        return sum(state["weights"].values(), Fraction(0))
+
+    def send(self, state: Dict[str, Any], ctx: NodeContext) -> Dict[Any, Any]:
+        if state["rounds_left"] <= 0:
+            return {}
+        frozen = self._load(state) >= HALF
+        return {p: frozen for p in state["active"]}
+
+    def receive(self, state: Dict[str, Any], ctx: NodeContext, inbox: Dict[Any, Any]) -> Dict[str, Any]:
+        if state["rounds_left"] <= 0:
+            return state
+        state = dict(state)
+        state["weights"] = dict(state["weights"])
+        state["active"] = set(state["active"])
+        my_frozen = self._load(state) >= HALF
+        for port in list(state["active"]):
+            their_frozen = inbox.get(port, True)
+            if my_frozen or their_frozen:
+                state["active"].discard(port)
+            else:
+                state["weights"][port] *= 2
+        state["rounds_left"] -= 1
+        if self._load(state) >= HALF:
+            state["active"] = set()
+        return state
+
+    def output(self, state: Dict[str, Any], ctx: NodeContext) -> Optional[Dict[Any, Fraction]]:
+        if state["rounds_left"] > 0 and state["active"]:
+            return None
+        return dict(state["weights"])
+
+    def snapshot(self, state: Dict[str, Any], ctx: NodeContext) -> Dict[Any, Fraction]:
+        """Current weights (partial answer for cut-off ``t``-round evaluations)."""
+        return dict(state["weights"])
+
+
+def doubling_algorithm() -> SimulatedECWeights:
+    """EC-model packaging of the doubling dynamics (experiment E3)."""
+    return SimulatedECWeights(
+        DoublingFM("EC"),
+        globals_factory=lambda g: {"delta": max(g.max_degree(), 1)},
+        max_rounds_factory=lambda g: initial_exponent(max(g.max_degree(), 1)) + 3,
+        name="doubling-approx",
+    )

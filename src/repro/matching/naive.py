@@ -1,0 +1,139 @@
+"""Deliberately naive / flawed algorithms — the adversary's test subjects.
+
+The lower-bound machinery must not only certify correct algorithms' round
+complexity; it must *catch* incorrect fast algorithms with an explicit
+certificate.  This module provides canonical specimens:
+
+* :class:`ZeroFM` — outputs 0 everywhere: feasible, maximally non-maximal;
+* :class:`DegreeSplitFM` — weight ``1 / max(deg u, deg v)``: a genuine
+  1-round lift-invariant algorithm, feasible, and *correct on regular
+  graphs* (where maximal FM is trivial, as the paper notes) but non-maximal
+  in general — the adversary refutes it on its loopy instances;
+* :class:`SelfishFM` — each node announces ``1/deg`` for every incident
+  edge: saturates everyone in its own accounting, but endpoints disagree on
+  non-regular edges — an inconsistent-output specimen;
+* :class:`ParityTiltFM` — an ID-model machine whose weights depend on
+  identifier *parity*: order-*variant* on purpose, the specimen for the
+  Ramsey extraction of Section 5.4 (on an all-even or all-odd identifier
+  set it becomes order-invariant).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, Hashable, Optional
+
+from ..graphs.multigraph import ECGraph
+from ..local.algorithm import DistributedAlgorithm, ECWeightAlgorithm
+from ..local.context import NodeContext
+
+Node = Hashable
+Color = Hashable
+
+__all__ = ["ZeroFM", "DegreeSplitFM", "SelfishFM", "ParityTiltFM"]
+
+
+class ZeroFM(ECWeightAlgorithm):
+    """The all-zero assignment: trivially feasible, never maximal on non-empty graphs."""
+
+    name = "zero"
+
+    def run_on(self, g: ECGraph) -> Dict[Node, Dict[Color, Fraction]]:
+        return {
+            v: {c: Fraction(0) for c in g.incident_colors(v)} for v in g.nodes()
+        }
+
+
+class DegreeSplitFM(ECWeightAlgorithm):
+    """``y(e) = 1 / max(deg(u), deg(v))`` (a loop uses its endpoint's degree).
+
+    A *bona fide* 1-round algorithm: the weight depends only on the two
+    endpoint degrees, which are visible within radius 1 of the edge.  It is
+    lift-invariant and feasible (a node's load is at most
+    ``deg * (1/deg) = 1``), and on regular graphs it saturates everyone —
+    a correct maximal FM.  On irregular graphs high-degree nodes stay
+    unsaturated next to low-degree ones, so the edge between two such nodes
+    can be uncovered; the adversary produces the refuting certificate.
+    """
+
+    name = "degree-split"
+
+    def run_on(self, g: ECGraph) -> Dict[Node, Dict[Color, Fraction]]:
+        out: Dict[Node, Dict[Color, Fraction]] = {}
+        for v in g.nodes():
+            weights: Dict[Color, Fraction] = {}
+            for e in g.incident_edges(v):
+                d = max(g.degree(e.u), g.degree(e.v))
+                weights[e.color] = Fraction(1, d)
+            out[v] = weights
+        return out
+
+
+class SelfishFM(ECWeightAlgorithm):
+    """Each node claims ``1/deg`` on every incident edge, ignoring the other side.
+
+    Every node believes itself saturated, but the two endpoints of an edge
+    between different-degree nodes announce different weights — the solution
+    is not even well-defined.  Exercises the endpoint-consistency check of
+    :func:`repro.matching.fm.fm_from_node_outputs` and the corresponding
+    ``incorrect-output`` refutation path.
+    """
+
+    name = "selfish"
+
+    def run_on(self, g: ECGraph) -> Dict[Node, Dict[Color, Fraction]]:
+        return {
+            v: {c: Fraction(1, max(g.degree(v), 1)) for c in g.incident_colors(v)}
+            for v in g.nodes()
+        }
+
+
+class ParityTiltFM(DistributedAlgorithm):
+    """ID-model: split the residual unevenly according to identifier parity.
+
+    Round 1 exchanges identifiers; thereafter every node assigns its ports
+    weights proportional to ``2`` (even neighbour identifier) or ``1`` (odd),
+    normalised to its capacity.  The output genuinely depends on the
+    identifiers' *values*, not just their order — so the algorithm is not
+    order-invariant on a mixed-parity identifier set, but becomes
+    order-invariant on any set of identifiers with constant parity pattern.
+    It is the specimen for :func:`repro.core.sim_oi_id.
+    extract_order_invariant_ids`: the Ramsey search discovers a
+    constant-parity subset.
+
+    (It is *not* a correct maximal-FM algorithm in general; its role is to
+    exhibit identifier-value dependence, not correctness.)
+    """
+
+    model = "ID"
+
+    def initial_state(self, ctx: NodeContext) -> Dict[str, Any]:
+        return {"round": 0, "weights": None}
+
+    def send(self, state: Dict[str, Any], ctx: NodeContext) -> Dict[Any, Any]:
+        if state["round"] == 0:
+            return {p: ctx.identifier for p in ctx.ports}
+        return {}
+
+    def receive(self, state: Dict[str, Any], ctx: NodeContext, inbox: Dict[Any, Any]) -> Dict[str, Any]:
+        state = dict(state)
+        if state["round"] == 0:
+            tilts = {p: (2 if inbox.get(p, 1) % 2 == 0 else 1) for p in ctx.ports}
+            total = sum(tilts.values())
+            if total:
+                state["weights"] = {p: Fraction(t, total) for p, t in tilts.items()}
+            else:
+                state["weights"] = {}
+        state["round"] += 1
+        return state
+
+    def output(self, state: Dict[str, Any], ctx: NodeContext) -> Optional[Dict[Any, Fraction]]:
+        if state["weights"] is None:
+            return None
+        return dict(state["weights"])
+
+    def snapshot(self, state: Dict[str, Any], ctx: NodeContext) -> Optional[Dict[Any, Fraction]]:
+        """Zero weights before the identifier exchange has happened."""
+        if state["weights"] is None:
+            return {p: Fraction(0) for p in ctx.ports}
+        return dict(state["weights"])

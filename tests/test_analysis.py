@@ -1,0 +1,108 @@
+"""Tests for shape analysis (repro.analysis) and its application to the
+measured complexity curves — the quantitative form of the benches' claims."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import classify_growth, fit_linear, fit_log
+
+
+class TestFits:
+    def test_exact_linear(self):
+        fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_log(self):
+        xs = [2, 4, 8, 16]
+        ys = [3 * math.log2(x) + 1 for x in xs]
+        fit = fit_log(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        fit = fit_linear([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [2])
+
+    def test_log_needs_positive_x(self):
+        with pytest.raises(ValueError):
+            fit_log([0, 1], [1, 2])
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [1, 3])
+        assert fit.predict(2) == pytest.approx(5.0)
+
+
+class TestClassifier:
+    def test_flat(self):
+        assert classify_growth([10, 20, 40, 80], [6, 6, 6, 7]) == "flat"
+
+    def test_linear(self):
+        assert classify_growth([2, 4, 8, 16], [3, 7, 15, 31]) == "linear"
+
+    def test_logarithmic(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [round(math.log2(x)) + 1 for x in xs]
+        assert classify_growth(xs, ys) == "logarithmic"
+
+
+class TestMeasuredShapes:
+    """The headline claims, asserted quantitatively on fresh measurements."""
+
+    def test_witness_depth_is_linear_in_delta(self):
+        from repro.core.adversary import run_adversary
+        from repro.matching.greedy_color import greedy_color_algorithm
+
+        deltas = [3, 4, 5, 6, 7]
+        depths = [run_adversary(greedy_color_algorithm(), d).achieved_depth for d in deltas]
+        assert classify_growth(deltas, depths) == "linear"
+        fit = fit_linear(deltas, depths)
+        assert fit.slope == pytest.approx(1.0)  # exactly Delta - 2
+
+    def test_greedy_rounds_linear_doubling_rounds_log(self):
+        from repro.graphs.families import random_bounded_degree_graph
+        from repro.matching.greedy_color import greedy_color_algorithm
+        from repro.matching.kuhn_approx import doubling_algorithm
+
+        requested = [2, 4, 8, 16]
+        achieved_deltas, greedy_rounds, doubling_rounds = [], [], []
+        for d in requested:
+            g = random_bounded_degree_graph(50, d, seed=1)
+            # the random construction may stop short of the requested bound;
+            # the claims are about the graph's *actual* maximum degree
+            achieved_deltas.append(g.max_degree())
+            greedy = greedy_color_algorithm()
+            greedy.run_on(g)
+            greedy_rounds.append(greedy.rounds_used(g))
+            doubling = doubling_algorithm()
+            doubling.run_on(g)
+            doubling_rounds.append(doubling.rounds_used(g))
+        assert classify_growth(achieved_deltas, greedy_rounds) == "linear"
+        assert classify_growth(achieved_deltas, doubling_rounds) in ("logarithmic", "flat")
+        # and the separation itself: greedy's slope dwarfs doubling's
+        assert (
+            fit_linear(achieved_deltas, greedy_rounds).slope
+            > 3 * fit_linear(achieved_deltas, doubling_rounds).slope
+        )
+
+    def test_rounds_flat_in_n(self):
+        from repro.graphs.families import random_regular_graph
+        from repro.matching.greedy_color import greedy_color_algorithm
+
+        ns = [20, 40, 80, 160]
+        rounds = []
+        for n in ns:
+            g = random_regular_graph(n, 4, seed=2)
+            alg = greedy_color_algorithm()
+            alg.run_on(g)
+            rounds.append(alg.rounds_used(g))
+        assert classify_growth(ns, rounds) == "flat"

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSolve:
+    def test_solve_greedy(self, capsys):
+        code = main(["solve", "--family", "cycle", "--n", "8", "--algorithm", "greedy"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "maximal: True" in out
+        assert "accepts" in out
+
+    def test_solve_proposal_on_random(self, capsys):
+        code = main([
+            "solve", "--family", "random", "--n", "15", "--delta", "4",
+            "--algorithm", "proposal",
+        ])
+        assert code == 0
+
+    def test_solve_zero_fails(self, capsys):
+        code = main(["solve", "--family", "path", "--n", "4", "--algorithm", "zero"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "maximal: False" in out
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--family", "klein-bottle"])
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--algorithm", "oracle"])
+
+
+class TestAdversary:
+    def test_adversary_greedy(self, capsys):
+        code = main(["adversary", "--delta", "4", "--algorithm", "greedy"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "step 0" in out and "step 2" in out
+        assert "Omega(Delta)" in out
+
+    def test_adversary_catches_zero(self, capsys):
+        code = main(["adversary", "--delta", "4", "--algorithm", "zero"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "incorrect" in out
+
+    def test_deep_verify_flag(self, capsys):
+        code = main(["adversary", "--delta", "3", "--algorithm", "greedy", "--deep-verify"])
+        assert code == 0
+
+
+class TestRefute:
+    def test_refutes_small_claim(self, capsys):
+        code = main(["refute", "--delta", "5", "--algorithm", "greedy", "--claimed-rounds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "isomorphic radius-1" in out
+
+    def test_consistent_claim_exit_code(self, capsys):
+        code = main(["refute", "--delta", "4", "--algorithm", "greedy", "--claimed-rounds", "9"])
+        assert code == 2
+
+
+class TestCoverAndOrder:
+    def test_cover(self, capsys):
+        code = main(["cover", "--family", "regular", "--n", "12", "--delta", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certified ratio" in out
+
+    def test_order(self, capsys):
+        code = main(["order", "--generators", "2", "--radius", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "e" in out
+        assert len(out.strip().splitlines()) == 5  # identity + 4 slot neighbours
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_builds(self):
+        parser = build_parser()
+        assert parser.prog == "repro"
+
+
+class TestExhaustive:
+    def test_exhaustive_impossible(self, capsys):
+        code = main(["exhaustive", "--delta", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IMPOSSIBLE" in out

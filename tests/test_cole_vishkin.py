@@ -1,0 +1,76 @@
+"""Tests for Cole-Vishkin forest 3-colouring (repro.coloring.cole_vishkin)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.coloring.cole_vishkin import (
+    cole_vishkin_3color,
+    cv_step_count,
+    validate_forest_coloring,
+)
+
+
+def random_forest(n: int, seed: int):
+    """Random rooted forest as a parent map with identifiers = labels."""
+    rng = random.Random(seed)
+    parent = {}
+    ids = {}
+    for v in range(n):
+        parent[v] = rng.randrange(v) if v > 0 and rng.random() < 0.9 else None
+        ids[v] = v * 7 + 3  # sparse identifiers
+    return parent, ids
+
+
+class TestStepCount:
+    def test_log_star_growth(self):
+        """The iteration count grows extremely slowly (log*)."""
+        assert cv_step_count(5) == 0
+        assert cv_step_count(2**16) <= 5
+        assert cv_step_count(2**64) <= 6
+
+    def test_monotone(self):
+        values = [cv_step_count(m) for m in (10, 100, 10**6, 10**12)]
+        assert values == sorted(values)
+
+
+class TestColoring:
+    def test_three_colors_on_path(self):
+        parent = {i: i - 1 if i > 0 else None for i in range(50)}
+        ids = {i: i * 13 + 5 for i in range(50)}
+        colors, rounds = cole_vishkin_3color(parent, ids)
+        assert set(colors.values()) <= {0, 1, 2}
+        assert validate_forest_coloring(parent, colors)
+
+    def test_random_forests(self):
+        for seed in range(5):
+            parent, ids = random_forest(60, seed)
+            colors, _ = cole_vishkin_3color(parent, ids)
+            assert set(colors.values()) <= {0, 1, 2}
+            assert validate_forest_coloring(parent, colors)
+
+    def test_star_forest(self):
+        parent = {0: None}
+        parent.update({i: 0 for i in range(1, 20)})
+        ids = {i: i + 100 for i in range(20)}
+        colors, _ = cole_vishkin_3color(parent, ids)
+        assert validate_forest_coloring(parent, colors)
+        assert len({colors[i] for i in range(1, 20)} | {colors[0]}) >= 2
+
+    def test_single_node(self):
+        colors, rounds = cole_vishkin_3color({0: None}, {0: 12345})
+        assert colors[0] in (0, 1, 2)
+
+    def test_round_count_small(self):
+        """Rounds = log* iterations + 6 clean-up; tiny even for big ids."""
+        parent, ids = random_forest(40, 3)
+        big_ids = {v: i * 10**9 for v, i in ids.items()}
+        _, rounds = cole_vishkin_3color(parent, big_ids)
+        assert rounds <= cv_step_count(max(big_ids.values())) + 6
+
+
+class TestValidator:
+    def test_rejects_conflict(self):
+        parent = {0: None, 1: 0}
+        assert not validate_forest_coloring(parent, {0: 1, 1: 1})
+        assert validate_forest_coloring(parent, {0: 1, 1: 2})

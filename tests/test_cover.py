@@ -1,0 +1,118 @@
+"""Tests for truncated universal covers (repro.graphs.cover)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.cover import universal_cover_ec, universal_cover_po
+from repro.graphs.families import cycle_graph, path_graph, single_node_with_loops
+from repro.graphs.multigraph import ECGraph
+from repro.graphs.ports import po_double_from_ec
+
+
+class TestECCover:
+    def test_cover_of_tree_is_itself(self):
+        g = path_graph(4)
+        cover = universal_cover_ec(g, 0, 10)
+        assert cover.tree.num_nodes() == 4
+        assert cover.tree.num_edges() == 3
+
+    def test_single_ec_loop_unfolds_to_k2(self):
+        """The EC cover of one node with one loop is a single edge: a loop
+        counts +1, so every cover node must have degree exactly 1.  (The
+        infinite line arises only under the PO convention, where a directed
+        loop counts +2 — see TestPOCover.)"""
+        g = single_node_with_loops(1)
+        cover = universal_cover_ec(g, 0, 3)
+        assert cover.tree.num_nodes() == 2
+        assert all(cover.tree.degree(v) == 1 for v in cover.tree.nodes())
+
+    def test_two_ec_loops_unfold_to_line(self):
+        """Two loops make the node degree 2; the cover is the infinite line
+        with colours alternating."""
+        g = single_node_with_loops(2)
+        cover = universal_cover_ec(g, 0, 3)
+        assert cover.tree.num_nodes() == 7
+
+    def test_cycle_unfolds_to_path(self):
+        g = cycle_graph(4)  # 2-regular
+        cover = universal_cover_ec(g, 0, 3)
+        # radius-3 ball of the infinite line: 7 nodes
+        assert cover.tree.num_nodes() == 7
+
+    def test_cover_is_loop_free(self):
+        g = single_node_with_loops(3)
+        cover = universal_cover_ec(g, 0, 2)
+        assert all(not e.is_loop for e in cover.tree.edges())
+
+    def test_interior_degrees_preserved(self):
+        """Away from the truncation boundary, the projection preserves degrees."""
+        g = single_node_with_loops(3)
+        r = 3
+        cover = universal_cover_ec(g, 0, r)
+        for w in cover.tree.nodes():
+            if len(w) < r:  # interior
+                assert cover.tree.degree(w) == g.degree(cover.projection[w])
+
+    def test_projection_preserves_colors(self):
+        g = cycle_graph(5)
+        cover = universal_cover_ec(g, 0, 2)
+        for e in cover.tree.edges():
+            base_u = cover.projection[e.u]
+            base_edge = g.edge_at(base_u, e.color)
+            assert base_edge is not None
+
+    def test_non_backtracking(self):
+        """Walk labels never repeat an edge id in consecutive steps."""
+        g = cycle_graph(6)
+        cover = universal_cover_ec(g, 0, 4)
+        for w in cover.tree.nodes():
+            for a, b in zip(w, w[1:]):
+                assert a != b
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            universal_cover_ec(path_graph(2), 0, -1)
+
+
+class TestPOCover:
+    def test_directed_loop_unfolds_both_ways(self):
+        """A directed loop behaves like a free generator: the cover of a
+        single node with one directed loop is a line (one step forward, one
+        backward per node)."""
+        d = po_double_from_ec(single_node_with_loops(1))
+        cover = universal_cover_po(d, 0, 2)
+        assert cover.tree.num_nodes() == 5  # line: 2 left + root + 2 right
+
+    def test_po_cover_regular_interior(self):
+        d = po_double_from_ec(single_node_with_loops(2))
+        r = 2
+        cover = universal_cover_po(d, 0, r)
+        for w in cover.tree.nodes():
+            if len(w) < r:
+                assert cover.tree.degree(w) == d.degree(cover.projection[w])
+
+    def test_arcs_point_consistently(self):
+        g = cycle_graph(4)
+        d = po_double_from_ec(g)
+        cover = universal_cover_po(d, 0, 2)
+        for e in cover.tree.edges():
+            base_tail = cover.projection[e.tail]
+            base_arc = d.out_edge(base_tail, e.color)
+            assert base_arc is not None
+            assert cover.projection[e.head] == base_arc.head
+
+    def test_no_backtracking_means_reduced_words(self):
+        d = po_double_from_ec(single_node_with_loops(2))
+        cover = universal_cover_po(d, 0, 3)
+        for w in cover.tree.nodes():
+            for (e1, d1), (e2, d2) in zip(w, w[1:]):
+                assert not (e1 == e2 and d1 == -d2)
+
+    def test_growth_matches_2d_regular_tree(self):
+        """Cover of a node with d directed loops = the 2d-regular tree T."""
+        d_loops = 2
+        d = po_double_from_ec(single_node_with_loops(d_loops))
+        cover = universal_cover_po(d, 0, 2)
+        # T with 2d = 4: ball sizes 1 + 4 + 4*3 = 17
+        assert cover.tree.num_nodes() == 17

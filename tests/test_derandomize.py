@@ -1,0 +1,104 @@
+"""Tests for derandomisation (repro.core.derandomize, Appendix B)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.derandomize import (
+    all_graphs_on,
+    failure_amplification,
+    find_good_assignment,
+)
+
+
+def priority_matching_correct(g: "nx.Graph", rho) -> bool:
+    """A toy randomised local algorithm, derandomised by ``rho``: greedy
+    matching by per-node random priorities; *correct* iff adjacent nodes
+    never drew equal priorities (ties deadlock the symmetric tie-break).
+    """
+    return all(rho[u] != rho[v] for u, v in g.edges())
+
+
+class TestAllGraphs:
+    def test_count(self):
+        assert len(all_graphs_on([1, 2, 3])) == 8  # 2^(3 choose 2)
+
+    def test_vertex_sets(self):
+        for g in all_graphs_on([4, 7]):
+            assert set(g.nodes()) == {4, 7}
+
+    def test_connected_filter(self):
+        graphs = all_graphs_on([1, 2, 3], connected_only=True)
+        assert all(nx.is_connected(g) for g in graphs)
+        assert len(graphs) == 4  # three paths + the triangle
+
+
+class TestLemma10Search:
+    def test_finds_good_assignment(self):
+        """With 30-bit strings, collisions are rare: the first identifier
+        set admits a good assignment — Lemma 10's conclusion."""
+        rng = random.Random(1)
+        found = find_good_assignment(
+            priority_matching_correct,
+            id_sets=[range(4), range(10, 14)],
+            rng=rng,
+        )
+        assert found is not None
+        ids, rho = found
+        for g in all_graphs_on(ids):
+            assert priority_matching_correct(g, rho)
+
+    def test_impossible_oracle_returns_none(self):
+        rng = random.Random(2)
+        found = find_good_assignment(
+            lambda g, rho: False,
+            id_sets=[range(3)],
+            rng=rng,
+            attempts_per_set=3,
+        )
+        assert found is None
+
+    def test_tiny_randomness_needs_more_attempts(self):
+        """With 1-bit strings, two adjacent nodes collide half the time;
+        the search still succeeds on an edgeless... rather, it demonstrates
+        that more attempts help."""
+        rng = random.Random(3)
+        found = find_good_assignment(
+            priority_matching_correct,
+            id_sets=[range(2)],
+            rng=rng,
+            rho_bits=1,
+            attempts_per_set=64,
+        )
+        assert found is not None  # a single edge: need rho[0] != rho[1]
+
+
+class TestAmplification:
+    def test_failure_grows_with_components(self):
+        """1 - (1-p)^q: more identifier-disjoint bad components => higher
+        failure probability, the averaging engine of Lemma 10's proof."""
+        bad = nx.path_graph(2)  # fails when the two priorities collide
+
+        def correct(g, rho):
+            values = list(rho.values())
+            return len(set(values)) == len(values)
+
+        rng = random.Random(4)
+        # use 2-bit strings: collision probability 1/4 per component
+        def correct_2bit(g, rho):
+            small = {v: r % 4 for v, r in rho.items()}
+            us, vs = zip(*g.edges())
+            return all(small[u] != small[v] for u, v in g.edges())
+
+        p1 = failure_amplification(correct_2bit, bad, rng, components=1, samples=400)
+        p4 = failure_amplification(correct_2bit, bad, rng, components=6, samples=400)
+        assert p4 > p1
+
+    def test_zero_failure_for_correct_algorithm(self):
+        bad = nx.path_graph(2)
+        rng = random.Random(5)
+        rate = failure_amplification(lambda g, rho: True, bad, rng, components=5, samples=50)
+        assert rate == 0.0

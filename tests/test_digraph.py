@@ -1,0 +1,135 @@
+"""Tests for the PO digraph substrate (repro.graphs.digraph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.digraph import ImproperPOColoringError, POGraph
+
+
+def build_sample() -> POGraph:
+    g = POGraph()
+    g.add_edge("a", "b", 1)
+    g.add_edge("b", "a", 1)  # same colour opposite direction: legal
+    g.add_edge("b", "c", 2)
+    g.add_edge("c", "c", 1)  # directed loop
+    return g
+
+
+class TestConstruction:
+    def test_same_color_opposite_directions_allowed(self):
+        g = POGraph()
+        g.add_edge("a", "b", 1)
+        g.add_edge("b", "a", 1)
+        assert g.num_edges() == 2
+
+    def test_out_slot_conflict_rejected(self):
+        g = POGraph()
+        g.add_edge("a", "b", 1)
+        with pytest.raises(ImproperPOColoringError):
+            g.add_edge("a", "c", 1)
+
+    def test_in_slot_conflict_rejected(self):
+        g = POGraph()
+        g.add_edge("a", "b", 1)
+        with pytest.raises(ImproperPOColoringError):
+            g.add_edge("c", "b", 1)
+
+    def test_duplicate_eid_rejected(self):
+        g = POGraph()
+        g.add_edge("a", "b", 1, eid=3)
+        with pytest.raises(ValueError):
+            g.add_edge("b", "c", 2, eid=3)
+
+
+class TestLoops:
+    def test_directed_loop_counts_twice(self):
+        """PO convention (paper Section 3.5): a directed loop adds +2."""
+        g = build_sample()
+        assert g.degree("c") == 3  # in-edge colour 2, loop out + loop in
+
+    def test_loop_occupies_both_slots(self):
+        g = POGraph()
+        g.add_edge("v", "v", 1)
+        assert g.out_colors("v") == [1]
+        assert g.in_colors("v") == [1]
+        with pytest.raises(ImproperPOColoringError):
+            g.add_edge("v", "w", 1)
+        with pytest.raises(ImproperPOColoringError):
+            g.add_edge("w", "v", 1)
+
+    def test_loop_count(self):
+        g = build_sample()
+        assert g.loop_count("c") == 1
+        assert g.loop_count("a") == 0
+
+    def test_incident_edges_dedupes_loops(self):
+        g = build_sample()
+        incident_c = g.incident_edges("c")
+        assert len(incident_c) == 2  # the loop appears once
+
+
+class TestQueries:
+    def test_degree_counts_both_directions(self):
+        g = build_sample()
+        assert g.degree("a") == 2
+        assert g.degree("b") == 3
+
+    def test_out_in_edge_lookup(self):
+        g = build_sample()
+        assert g.out_edge("a", 1).head == "b"
+        assert g.in_edge("a", 1).tail == "b"
+        assert g.out_edge("a", 2) is None
+
+    def test_neighbors(self):
+        g = build_sample()
+        assert set(g.neighbors("b")) == {"a", "c"}
+        assert "c" in g.neighbors("c")  # loop
+
+    def test_colors(self):
+        assert build_sample().colors() == [1, 2]
+
+    def test_max_degree(self):
+        assert build_sample().max_degree() == 3
+
+    def test_edges_sorted_by_color(self):
+        g = POGraph()
+        g.add_edge("v", "a", 2)
+        g.add_edge("v", "b", 1)
+        assert [e.color for e in g.out_edges("v")] == [1, 2]
+
+
+class TestTraversalCopy:
+    def test_bfs_ignores_direction(self):
+        g = build_sample()
+        d = g.bfs_distances("a")
+        assert d == {"a": 0, "b": 1, "c": 2}
+
+    def test_is_connected(self):
+        g = build_sample()
+        assert g.is_connected()
+        g.add_node("isolated")
+        assert not g.is_connected()
+
+    def test_copy(self):
+        g = build_sample()
+        h = g.copy()
+        h.remove_edge(h.out_edge("a", 1).eid)
+        assert g.out_edge("a", 1) is not None
+
+    def test_remove_edge_frees_slots(self):
+        g = build_sample()
+        e = g.out_edge("b", 2)
+        g.remove_edge(e.eid)
+        assert g.out_edge("b", 2) is None
+        g.add_edge("b", "a", 2)
+        g.validate()
+
+    def test_contains_iter_len(self):
+        g = build_sample()
+        assert "a" in g
+        assert len(g) == 3
+        assert set(g) == {"a", "b", "c"}
+
+    def test_validate(self):
+        build_sample().validate()

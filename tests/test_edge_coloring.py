@@ -1,0 +1,61 @@
+"""Tests for distributed edge colouring (repro.coloring.edge_coloring)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.coloring.edge_coloring import (
+    distributed_edge_coloring,
+    line_graph_adjacency,
+    validate_edge_coloring,
+)
+
+
+class TestLineGraph:
+    def test_adjacency_of_path(self):
+        g = nx.path_graph(4)
+        adj = line_graph_adjacency(g)
+        assert set(adj.keys()) == {(0, 1), (1, 2), (2, 3)}
+        assert adj[(1, 2)] == [(0, 1), (2, 3)]
+
+    def test_star_line_graph_is_clique(self):
+        g = nx.star_graph(4)
+        adj = line_graph_adjacency(g)
+        for k, nbrs in adj.items():
+            assert len(nbrs) == 3  # all other spokes
+
+
+class TestColoring:
+    def test_properness_on_samples(self):
+        for g in (
+            nx.path_graph(10),
+            nx.cycle_graph(11),
+            nx.random_regular_graph(4, 16, seed=0),
+            nx.complete_graph(6),
+        ):
+            coloring, rounds = distributed_edge_coloring(g)
+            assert validate_edge_coloring(g, coloring), g
+            assert rounds >= 0
+
+    def test_palette_polynomial_in_delta(self):
+        g = nx.random_regular_graph(4, 40, seed=1)
+        coloring, _ = distributed_edge_coloring(g)
+        palette = len(set(coloring.values()))
+        # line-graph degree is 2*Delta-2 = 6; O(Delta^2) palette
+        assert palette <= 130
+
+    def test_empty_graph(self):
+        coloring, rounds = distributed_edge_coloring(nx.empty_graph(3))
+        assert coloring == {} and rounds == 0
+
+    def test_colors_one_based(self):
+        g = nx.path_graph(5)
+        coloring, _ = distributed_edge_coloring(g)
+        assert min(coloring.values()) >= 1
+
+
+class TestValidator:
+    def test_detects_conflict(self):
+        g = nx.path_graph(3)
+        bad = {(0, 1): 1, (1, 2): 1}
+        assert not validate_edge_coloring(g, bad)

@@ -1,0 +1,138 @@
+"""Error-path and boundary coverage across the stack: the failure modes a
+downstream user will actually hit must fail loudly and informatively."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, Optional
+
+import pytest
+
+from repro.graphs.families import cycle_graph, path_graph, single_node_with_loops
+from repro.graphs.multigraph import ECGraph
+from repro.local.algorithm import (
+    DistributedAlgorithm,
+    SimulatedECWeights,
+    SimulatedPOWeights,
+)
+from repro.local.context import NodeContext
+from repro.matching.proposal import ProposalFM
+
+
+class Stubborn(DistributedAlgorithm):
+    """Never halts; used to exercise round-cap errors."""
+
+    model = "EC"
+
+    def initial_state(self, ctx):
+        return 0
+
+    def send(self, state, ctx):
+        return {}
+
+    def receive(self, state, ctx, inbox):
+        return state + 1
+
+    def output(self, state, ctx):
+        return None
+
+
+class TestAdapterErrors:
+    def test_simulated_ec_requires_ec_model(self):
+        with pytest.raises(ValueError, match="EC-model"):
+            SimulatedECWeights(ProposalFM("ID"))
+
+    def test_simulated_po_requires_po_model(self):
+        with pytest.raises(ValueError, match="PO-model"):
+            SimulatedPOWeights(ProposalFM("EC"))
+
+    def test_non_halting_algorithm_raises(self):
+        alg = SimulatedECWeights(Stubborn(), max_rounds_factory=lambda g: 5)
+        with pytest.raises(RuntimeError, match="did not halt"):
+            alg.run_on(cycle_graph(4))
+
+
+class TestGraphErrors:
+    def test_edge_lookup_on_missing_node(self):
+        g = path_graph(2)
+        with pytest.raises(KeyError):
+            g.degree("ghost")
+
+    def test_remove_missing_edge(self):
+        g = path_graph(2)
+        with pytest.raises(KeyError):
+            g.remove_edge(999)
+
+    def test_disjoint_union_tags_prevent_collisions(self):
+        g = single_node_with_loops(1)
+        u = g.disjoint_union(g)
+        assert u.num_nodes() == 2
+        u.validate()
+
+
+class TestAdversaryBoundaries:
+    def test_delta_two_is_base_case_only(self):
+        from repro.core.adversary import run_adversary
+        from repro.matching.greedy_color import greedy_color_algorithm
+
+        witness = run_adversary(greedy_color_algorithm(), 2)
+        assert witness.achieved_depth == 0
+        assert len(witness.steps) == 1
+        assert witness.steps[0].side == "base"
+
+    def test_refute_claim_zero(self):
+        """Even a claimed 0-round algorithm is refutable: tau_0 views of the
+        base pair are isomorphic (bare nodes) yet the outputs differ."""
+        from repro.core.theorem import refute
+        from repro.matching.greedy_color import greedy_color_algorithm
+
+        r = refute(greedy_color_algorithm(), claimed_rounds=0, delta=3)
+        assert r.kind == "locality-violation"
+        assert r.step.index == 0
+
+
+class TestVerifierEdgeCases:
+    def test_isolated_node_accepts_vacuously(self):
+        from repro.matching.verify import verify_distributed
+
+        g = ECGraph()
+        g.add_node("lonely")
+        ok, verdicts, rounds = verify_distributed(g, {"lonely": {}})
+        assert ok
+
+    def test_empty_graph_lp(self):
+        from repro.matching.lp import max_weight_fm_lp
+
+        assert max_weight_fm_lp(ECGraph()) == (0.0, {})
+
+
+class TestCanonicalOrderErrors:
+    def test_bad_direction_rejected_everywhere(self):
+        from repro.core.canonical_order import reduce_word
+
+        with pytest.raises(ValueError):
+            reduce_word([(1, 2)])
+
+    def test_unreduced_bracket_rejected(self):
+        from repro.core.canonical_order import bracket
+
+        with pytest.raises(ValueError):
+            bracket(((1, 1), (1, -1)))
+
+
+class TestSimulationChainErrors:
+    def test_oi_from_id_pool_exhaustion_message(self):
+        from repro.core.sim_oi_id import OIFromID
+        from repro.core.sim_po_oi import POFromOI
+        from repro.graphs.ports import po_double_from_ec
+
+        oi = OIFromID(ProposalFM("ID"), t=2, id_pool=[1, 2])
+        d = po_double_from_ec(cycle_graph(4))
+        with pytest.raises(ValueError, match="identifier pool"):
+            POFromOI(oi).run_on(d)
+
+    def test_symmetric_adapter_model_check(self):
+        from repro.core.sim_po_oi import SymmetricOIAdapter
+
+        with pytest.raises(ValueError, match="PO-model"):
+            SymmetricOIAdapter(ProposalFM("EC"), t=2)

@@ -1,0 +1,53 @@
+"""Execute every example script end to end (the examples are documentation
+that must not rot)."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, tmp_path, monkeypatch, capsys) -> str:
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, tmp_path, monkeypatch, capsys):
+        out = run_example("quickstart.py", tmp_path, monkeypatch, capsys)
+        assert "All outputs verified" in out
+
+    def test_lower_bound_adversary(self, tmp_path, monkeypatch, capsys):
+        out = run_example("lower_bound_adversary.py", tmp_path, monkeypatch, capsys)
+        assert "Omega(Delta)" in out
+        assert "caught" in out
+
+    def test_simulation_chain(self, tmp_path, monkeypatch, capsys):
+        out = run_example("simulation_chain.py", tmp_path, monkeypatch, capsys)
+        assert "survived to depth 2" in out
+        assert "caught as incorrect" in out
+
+    def test_matching_zoo(self, tmp_path, monkeypatch, capsys):
+        out = run_example("matching_zoo.py", tmp_path, monkeypatch, capsys)
+        assert "Panconesi-Rizzi" in out
+
+    def test_canonical_order_demo(self, tmp_path, monkeypatch, capsys):
+        out = run_example("canonical_order_demo.py", tmp_path, monkeypatch, capsys)
+        assert "held every time" in out
+
+    def test_randomized_and_derandomized(self, tmp_path, monkeypatch, capsys):
+        out = run_example("randomized_and_derandomized.py", tmp_path, monkeypatch, capsys)
+        assert "identifier set S_n" in out
+
+    def test_witness_artifacts(self, tmp_path, monkeypatch, capsys):
+        out = run_example("witness_artifacts.py", tmp_path, monkeypatch, capsys)
+        assert (tmp_path / "artifacts" / "witness_delta5.dot").exists()
+        assert (tmp_path / "artifacts" / "witness_delta5.json").exists()
+        assert "Omega(Delta)" in out

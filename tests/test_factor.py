@@ -1,0 +1,129 @@
+"""Tests for factor graphs via colour refinement (repro.graphs.factor)."""
+
+from __future__ import annotations
+
+from repro.graphs.factor import factor_graph, stable_partition
+from repro.graphs.families import (
+    cycle_graph,
+    path_graph,
+    random_loopy_tree,
+    single_node_with_loops,
+)
+from repro.graphs.lifts import is_covering_map_ec, random_two_lift
+from repro.graphs.multigraph import ECGraph
+
+
+class TestStablePartition:
+    def test_symmetric_cycle_collapses(self):
+        """An even cycle with alternating colours is vertex-transitive up to
+        colour: the refinement has a single class (or two, by parity)."""
+        g = cycle_graph(6)
+        cls = stable_partition(g)
+        assert len(set(cls.values())) <= 2
+
+    def test_path_ends_distinguished(self):
+        g = path_graph(4)
+        cls = stable_partition(g)
+        assert cls[0] != cls[1]
+
+    def test_loops_in_signature(self):
+        g = ECGraph()
+        g.add_edge("a", "b", 1)
+        g.add_edge("a", "a", 2)
+        cls = stable_partition(g)
+        assert cls["a"] != cls["b"]
+
+
+class TestFactorGraph:
+    def test_projection_is_covering_map(self):
+        for g in (cycle_graph(6), path_graph(5), random_loopy_tree(5, 1, seed=0)):
+            fg, alpha = factor_graph(g)
+            assert is_covering_map_ec(g, fg, alpha)
+
+    def test_single_node_with_loops_is_own_factor(self):
+        g = single_node_with_loops(3)
+        fg, _ = factor_graph(g)
+        assert fg.num_nodes() == 1
+        assert fg.loop_count(fg.nodes()[0]) == 3
+
+    def test_even_cycle_factors_to_loops(self):
+        """Figure 3 flavour: a 2-coloured even cycle factors onto a single
+        node (or an edge), with the cycle structure absorbed into loops or a
+        doubled edge."""
+        g = cycle_graph(4)  # alternating colours 1,2
+        fg, alpha = factor_graph(g)
+        assert fg.num_nodes() <= 2
+        assert is_covering_map_ec(g, fg, alpha)
+
+    def test_unfolded_loop_refolds(self):
+        """Unfolding a loop then factoring recovers a graph of the original size."""
+        from repro.graphs.lifts import unfold_loop
+
+        g = single_node_with_loops(2)
+        gg, _, _ = unfold_loop(g, g.loops_at(0)[0].eid)
+        fg, _ = factor_graph(gg)
+        assert fg.num_nodes() == 1
+        # the factor of GG is G itself: 2 loops
+        assert fg.loop_count(fg.nodes()[0]) == 2
+
+    def test_factor_of_random_lift_matches_base_size(self, rng):
+        g = random_loopy_tree(4, 1, seed=5)
+        fg_base, _ = factor_graph(g)
+        lifted, _ = random_two_lift(g, rng)
+        fg_lift, _ = factor_graph(lifted)
+        # factoring a lift cannot give something bigger than the base factor
+        assert fg_lift.num_nodes() <= g.num_nodes()
+
+    def test_asymmetric_graph_is_own_factor(self):
+        g = path_graph(3)
+        fg, alpha = factor_graph(g)
+        assert fg.num_nodes() == 3  # ends differ from middle, ends differ by colour
+
+
+class TestPOFactor:
+    def test_po_factor_is_covering(self):
+        from repro.graphs.factor import factor_graph_po
+        from repro.graphs.lifts import is_covering_map_po
+        from repro.graphs.ports import po_double_from_ec
+        from repro.graphs.families import cycle_graph, path_graph, single_node_with_loops
+
+        for base in (cycle_graph(6), path_graph(4), single_node_with_loops(2)):
+            d = po_double_from_ec(base)
+            fg, alpha = factor_graph_po(d)
+            assert is_covering_map_po(d, fg, alpha)
+
+    def test_doubled_even_cycle_collapses(self):
+        """Figure 3 flavour in PO: the doubled even cycle is vertex-transitive
+        up to colours, so its PO factor is a single node with directed loops."""
+        from repro.graphs.factor import factor_graph_po
+        from repro.graphs.ports import po_double_from_ec
+        from repro.graphs.families import cycle_graph
+
+        d = po_double_from_ec(cycle_graph(6))
+        fg, _ = factor_graph_po(d)
+        assert fg.num_nodes() == 1
+        node = fg.nodes()[0]
+        assert fg.degree(node) == d.max_degree()
+
+    def test_asymmetric_po_graph_refines(self):
+        from repro.graphs.factor import factor_graph_po
+        from repro.graphs.digraph import POGraph
+
+        g = POGraph()
+        g.add_edge("a", "b", 1)
+        g.add_edge("b", "c", 2)
+        fg, _ = factor_graph_po(g)
+        assert fg.num_nodes() == 3
+
+    def test_po_directed_loop_vs_cycle(self):
+        """A directed loop and a directed 2-cycle of one colour have the
+        same factor: one node with a directed loop."""
+        from repro.graphs.factor import factor_graph_po
+        from repro.graphs.digraph import POGraph
+
+        cyc = POGraph()
+        cyc.add_edge(0, 1, 1)
+        cyc.add_edge(1, 0, 1)
+        fg, _ = factor_graph_po(cyc)
+        assert fg.num_nodes() == 1
+        assert fg.loop_count(fg.nodes()[0]) == 1

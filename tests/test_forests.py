@@ -1,0 +1,53 @@
+"""Tests for forest decomposition (repro.coloring.forests)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.coloring.forests import forest_decomposition, validate_forest
+
+
+class TestDecomposition:
+    def test_every_edge_in_exactly_one_forest(self):
+        g = nx.random_regular_graph(4, 14, seed=0)
+        forests = forest_decomposition(g)
+        covered = []
+        for parent in forests:
+            for v, p in parent.items():
+                if p is not None:
+                    covered.append(tuple(sorted((v, p))))
+        assert sorted(covered) == sorted(tuple(sorted(e)) for e in g.edges())
+
+    def test_number_of_forests_is_delta(self):
+        g = nx.star_graph(5)  # Delta = 5
+        forests = forest_decomposition(g)
+        assert len(forests) == 5
+
+    def test_each_forest_acyclic(self):
+        for seed in range(4):
+            g = nx.gnp_random_graph(18, 0.3, seed=seed)
+            for parent in forest_decomposition(g):
+                assert validate_forest(parent)
+
+    def test_parents_have_lower_ids(self):
+        """Orientation toward lower identifiers is what makes chains finite."""
+        g = nx.cycle_graph(7)
+        for parent in forest_decomposition(g):
+            for v, p in parent.items():
+                if p is not None:
+                    assert p < v
+
+    def test_out_degree_at_most_one(self):
+        g = nx.complete_graph(6)
+        for parent in forest_decomposition(g):
+            # a parent map trivially has out-degree <= 1; check shape
+            assert set(parent.keys()) == set(g.nodes())
+
+    def test_empty_graph(self):
+        assert forest_decomposition(nx.empty_graph(4)) == []
+
+
+class TestValidator:
+    def test_detects_cycle(self):
+        assert not validate_forest({0: 1, 1: 0})
+        assert validate_forest({0: None, 1: 0})

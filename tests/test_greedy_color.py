@@ -1,0 +1,98 @@
+"""Tests for greedy-by-colour maximal FM (repro.matching.greedy_color).
+
+This is the O(Delta)-round EC upper bound against which the paper's lower
+bound is tight — its properties are load-bearing for the whole repro.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core.saturation import check_lift_invariance
+from repro.graphs.families import (
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_loopy_tree,
+    random_regular_graph,
+    single_node_with_loops,
+    star_graph,
+)
+from repro.matching.fm import fm_from_node_outputs
+from repro.matching.greedy_color import greedy_color_algorithm
+
+
+ALL_GRAPHS = [
+    path_graph(5),
+    cycle_graph(6),
+    cycle_graph(7),
+    star_graph(5),
+    complete_graph(5),
+    caterpillar(4, 2),
+    random_bounded_degree_graph(20, 4, seed=0),
+    random_regular_graph(12, 3, seed=1),
+    random_loopy_tree(6, 2, seed=2),
+    single_node_with_loops(4),
+]
+
+
+class TestCorrectness:
+    def test_feasible_and_maximal_everywhere(self):
+        for g in ALL_GRAPHS:
+            alg = greedy_color_algorithm()
+            fm = fm_from_node_outputs(g, alg.run_on(g))
+            assert fm.is_feasible(), repr(g)
+            assert fm.is_maximal(), repr(g)
+
+    def test_saturates_loopy_graphs(self):
+        """Lemma 2's hypothesis holds for this algorithm."""
+        for seed in range(3):
+            g = random_loopy_tree(5, 1, seed=seed)
+            alg = greedy_color_algorithm()
+            fm = fm_from_node_outputs(g, alg.run_on(g))
+            assert fm.is_fully_saturated()
+
+    def test_loop_saturates_its_node(self):
+        g = single_node_with_loops(1)
+        alg = greedy_color_algorithm()
+        outputs = alg.run_on(g)
+        assert outputs[0][1] == Fraction(1)
+
+
+class TestRoundComplexity:
+    def test_rounds_equal_palette_size(self):
+        """The run takes exactly k rounds, k = number of colours = O(Delta)."""
+        for g in ALL_GRAPHS:
+            alg = greedy_color_algorithm()
+            alg.run_on(g)
+            assert alg.rounds_used(g) == len(g.colors())
+
+    def test_rounds_scale_linearly_with_delta(self):
+        rounds = []
+        for delta in (2, 4, 6, 8):
+            g = random_regular_graph(20 if (20 * delta) % 2 == 0 else 21, delta, seed=3)
+            alg = greedy_color_algorithm()
+            alg.run_on(g)
+            rounds.append(alg.rounds_used(g))
+        assert rounds == sorted(rounds)
+        assert rounds[-1] >= 8  # at least Delta colours on a Delta-regular graph
+
+
+class TestAnonymity:
+    def test_lift_invariance(self):
+        """The algorithm is a genuine EC-algorithm: invariant under lifts."""
+        rng = random.Random(5)
+        for g in (cycle_graph(5), random_loopy_tree(4, 1, seed=4)):
+            problems = check_lift_invariance(greedy_color_algorithm(), g, rng, trials=2)
+            assert problems == []
+
+    def test_label_independence(self):
+        g = path_graph(4)
+        h = g.relabel({0: "a", 1: "b", 2: "c", 3: "d"})
+        out_g = greedy_color_algorithm().run_on(g)
+        out_h = greedy_color_algorithm().run_on(h)
+        assert out_g[0] == out_h["a"]
+        assert out_g[2] == out_h["c"]

@@ -1,0 +1,113 @@
+"""Tests for integral matching baselines (repro.matching.integral)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.coloring.edge_coloring import distributed_edge_coloring
+from repro.matching.integral import (
+    greedy_matching_by_color,
+    panconesi_rizzi_matching,
+    randomized_matching,
+    validate_maximal_matching,
+)
+
+
+def sample_graphs():
+    return [
+        nx.path_graph(8),
+        nx.cycle_graph(9),
+        nx.star_graph(6),
+        nx.random_regular_graph(4, 16, seed=0),
+        nx.gnp_random_graph(20, 0.2, seed=1),
+        nx.complete_graph(7),
+    ]
+
+
+class TestPanconesiRizzi:
+    def test_maximal_on_all_samples(self):
+        for g in sample_graphs():
+            matching, rounds = panconesi_rizzi_matching(g)
+            assert validate_maximal_matching(g, matching), g
+            assert rounds >= 0
+
+    def test_rounds_independent_of_n_for_fixed_delta(self):
+        """O(Delta + log* n): for bounded identifiers the log* term is flat."""
+        rounds = []
+        for n in (16, 64, 256):
+            g = nx.random_regular_graph(4, n, seed=2)
+            _, r = panconesi_rizzi_matching(g)
+            rounds.append(r)
+        assert max(rounds) - min(rounds) <= 4  # essentially constant in n
+
+    def test_rounds_grow_with_delta(self):
+        rounds = []
+        for d in (2, 4, 8):
+            g = nx.random_regular_graph(d, 32, seed=3)
+            _, r = panconesi_rizzi_matching(g)
+            rounds.append(r)
+        assert rounds == sorted(rounds)
+        assert rounds[-1] > rounds[0]
+
+    def test_empty_graph(self):
+        g = nx.empty_graph(5)
+        matching, _ = panconesi_rizzi_matching(g)
+        assert matching == set()
+
+
+class TestRandomized:
+    def test_maximal_on_all_samples(self):
+        rng = random.Random(7)
+        for g in sample_graphs():
+            matching, rounds = randomized_matching(g, rng)
+            assert validate_maximal_matching(g, matching), g
+
+    def test_rounds_grow_slowly_with_n(self):
+        rng = random.Random(8)
+        g = nx.random_regular_graph(4, 256, seed=4)
+        _, rounds = randomized_matching(g, rng)
+        assert rounds <= 40  # ~ O(log n) with small constants
+
+    def test_deterministic_given_seed(self):
+        g = nx.gnp_random_graph(15, 0.3, seed=5)
+        m1, _ = randomized_matching(g, random.Random(1))
+        m2, _ = randomized_matching(g, random.Random(1))
+        assert m1 == m2
+
+
+class TestGreedyByColor:
+    def test_maximal_with_distributed_coloring(self):
+        for g in sample_graphs():
+            if g.number_of_edges() == 0:
+                continue
+            coloring, _ = distributed_edge_coloring(g)
+            matching, rounds = greedy_matching_by_color(g, coloring)
+            assert validate_maximal_matching(g, matching), g
+            assert rounds == len(set(coloring.values()))
+
+    def test_matching_within_color_class_conflict_free(self):
+        g = nx.cycle_graph(6)
+        coloring, _ = distributed_edge_coloring(g)
+        matching, _ = greedy_matching_by_color(g, coloring)
+        assert validate_maximal_matching(g, matching)
+
+
+class TestValidator:
+    def test_rejects_non_edges(self):
+        g = nx.path_graph(3)
+        assert not validate_maximal_matching(g, {(0, 2)})
+
+    def test_rejects_overlapping(self):
+        g = nx.path_graph(3)
+        assert not validate_maximal_matching(g, {(0, 1), (1, 2)})
+
+    def test_rejects_non_maximal(self):
+        g = nx.path_graph(5)
+        assert not validate_maximal_matching(g, {(0, 1)})
+
+    def test_accepts_valid(self):
+        g = nx.path_graph(4)
+        assert validate_maximal_matching(g, {(0, 1), (2, 3)})

@@ -1,0 +1,150 @@
+"""End-to-end integration tests: the paper's storyline as executable checks.
+
+Each test stitches several subsystems together and corresponds to a concrete
+claim in the paper — these are the tests that make the reproduction a
+reproduction rather than a collection of parts.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    chain_id_to_ec,
+    refute,
+    run_adversary,
+)
+from repro.core.saturation import simple_unfolding
+from repro.core.witness import AlgorithmFailure
+from repro.graphs.families import (
+    random_bounded_degree_graph,
+    random_loopy_tree,
+    random_regular_graph,
+)
+from repro.graphs.lifts import is_covering_map_ec
+from repro.matching import (
+    ProposalFM,
+    doubling_algorithm,
+    fm_from_node_outputs,
+    greedy_color_algorithm,
+    max_weight_fm_lp,
+    panconesi_rizzi_matching,
+    proposal_algorithm,
+    randomized_matching,
+    validate_maximal_matching,
+    verify_distributed,
+)
+
+
+class TestTheorem1Storyline:
+    """Theorem 1: maximal FM takes Omega(Delta) rounds; O(Delta) suffices."""
+
+    def test_upper_and_lower_bounds_meet(self):
+        """For each Delta: an O(Delta)-round algorithm exists AND no
+        algorithm can beat depth Delta-2 — the matching bounds."""
+        for delta in (3, 5, 7):
+            g = random_regular_graph(12 if (12 * delta) % 2 == 0 else 13, delta, seed=1)
+            alg = greedy_color_algorithm()
+            fm = fm_from_node_outputs(g, alg.run_on(g))
+            assert fm.is_maximal()
+            assert alg.rounds_used(g) <= 2 * delta  # O(Delta) upper bound
+
+            witness = run_adversary(greedy_color_algorithm(), delta)
+            assert witness.achieved_depth == delta - 2  # Omega(Delta) lower bound
+
+    def test_witness_depth_linear_in_delta(self):
+        depths = [run_adversary(greedy_color_algorithm(), d).achieved_depth for d in range(3, 8)]
+        diffs = [b - a for a, b in zip(depths, depths[1:])]
+        assert all(d == 1 for d in diffs)  # exactly linear
+
+
+class TestLocalCheckabilityStory:
+    """Section 2: maximal FM is locally checkable, so the lower bound needs
+    only deterministic algorithms, and solutions verify in one round."""
+
+    def test_every_algorithm_output_verifies_in_one_round(self):
+        g = random_bounded_degree_graph(18, 4, seed=2)
+        for alg in (greedy_color_algorithm(), proposal_algorithm()):
+            outputs = alg.run_on(g)
+            ok, _, rounds = verify_distributed(g, outputs)
+            assert ok and rounds == 1
+
+
+class TestComplexityLandscape:
+    """Sections 1.1-1.2: the surrounding upper bounds, measured."""
+
+    def test_maximal_fm_vs_approx_separation(self):
+        """Maximal FM rounds grow with Delta; the approximation's barely move."""
+        maximal_rounds, approx_rounds = [], []
+        for delta in (4, 8, 16):
+            n = 34 if (34 * delta) % 2 == 0 else 35
+            g = random_regular_graph(n, delta, seed=3)
+            greedy = greedy_color_algorithm()
+            greedy.run_on(g)
+            maximal_rounds.append(greedy.rounds_used(g))
+            doubling = doubling_algorithm()
+            doubling.run_on(g)
+            approx_rounds.append(doubling.rounds_used(g))
+        assert maximal_rounds[-1] - maximal_rounds[0] >= 8
+        assert approx_rounds[-1] - approx_rounds[0] <= 3
+
+    def test_half_approximation_guarantee(self):
+        g = random_bounded_degree_graph(24, 5, seed=4)
+        fm = fm_from_node_outputs(g, greedy_color_algorithm().run_on(g))
+        opt, _ = max_weight_fm_lp(g)
+        assert float(fm.total_weight()) >= opt / 2 - 1e-9
+
+    def test_matching_baselines(self):
+        g = nx.random_regular_graph(4, 40, seed=5)
+        m1, r1 = panconesi_rizzi_matching(g)
+        assert validate_maximal_matching(g, m1)
+        m2, r2 = randomized_matching(g, random.Random(6))
+        assert validate_maximal_matching(g, m2)
+
+
+class TestSimpleInputsOnly:
+    """Section 3.4: analysing multigraphs is legitimate because every output
+    on a multigraph is realised on a simple lift."""
+
+    def test_adversary_failures_transfer_to_simple_graphs(self):
+        """If an algorithm fails on a loopy multigraph, it fails on the
+        explicit *simple* unfolding too."""
+        from repro.matching.naive import DegreeSplitFM
+
+        g = random_loopy_tree(3, 2, seed=7)
+        alg = DegreeSplitFM()
+        fm = fm_from_node_outputs(g, alg.run_on(g))
+        simple, alpha = simple_unfolding(g)
+        assert simple.is_simple()
+        assert is_covering_map_ec(simple, g, alpha)
+        fm_simple = fm_from_node_outputs(simple, alg.run_on(simple))
+        # degree-split is lift-invariant, so failures project exactly
+        assert fm.is_maximal() == fm_simple.is_maximal()
+
+    def test_greedy_agrees_on_simple_unfolding(self):
+        g = random_loopy_tree(3, 1, seed=8)
+        simple, alpha = simple_unfolding(g)
+        base = greedy_color_algorithm().run_on(g)
+        up = greedy_color_algorithm().run_on(simple)
+        for w in simple.nodes():
+            assert up[w] == base[alpha[w]]
+
+
+class TestSection55Pipeline:
+    """The full backwards chain, both dichotomy branches."""
+
+    @pytest.mark.slow
+    def test_id_algorithm_cannot_be_fast(self):
+        pool = lambda n: [17 * i + 3 for i in range(n)]
+        # generous time budget: survives and is certified Omega(Delta)
+        ec_ok = chain_id_to_ec(ProposalFM("ID"), t=4, id_pool=pool)
+        r = refute(ec_ok, claimed_rounds=1, delta=4)
+        assert r.kind == "locality-violation"
+        # starved time budget: caught as incorrect
+        ec_bad = chain_id_to_ec(ProposalFM("ID"), t=2, id_pool=pool)
+        r2 = refute(ec_bad, claimed_rounds=2, delta=4)
+        assert r2.kind == "incorrect-output"

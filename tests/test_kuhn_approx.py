@@ -1,0 +1,83 @@
+"""Tests for the doubling approximation (repro.matching.kuhn_approx)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs.families import (
+    cycle_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.matching.fm import fm_from_node_outputs
+from repro.matching.kuhn_approx import DoublingFM, doubling_algorithm, initial_exponent
+from repro.matching.lp import max_weight_fm_lp
+
+
+class TestInitialExponent:
+    def test_values(self):
+        assert initial_exponent(1) == 0
+        assert initial_exponent(2) == 1
+        assert initial_exponent(3) == 2
+        assert initial_exponent(4) == 2
+        assert initial_exponent(5) == 3
+        assert initial_exponent(0) == 0
+
+
+class TestFeasibility:
+    def test_always_feasible(self):
+        for g in (
+            path_graph(6),
+            cycle_graph(5),
+            star_graph(6),
+            random_bounded_degree_graph(20, 5, seed=0),
+        ):
+            alg = doubling_algorithm()
+            fm = fm_from_node_outputs(g, alg.run_on(g))
+            assert fm.is_feasible(), repr(g)
+
+    def test_every_edge_half_covered(self):
+        """Every edge ends with an endpoint of load >= 1/2 — the invariant
+        behind the constant-factor guarantee."""
+        g = random_bounded_degree_graph(20, 4, seed=1)
+        alg = doubling_algorithm()
+        fm = fm_from_node_outputs(g, alg.run_on(g))
+        half = Fraction(1, 2)
+        for e in g.edges():
+            assert fm.node_load(e.u) >= half or fm.node_load(e.v) >= half
+
+
+class TestApproximation:
+    def test_constant_factor_of_lp(self):
+        for seed in range(3):
+            g = random_bounded_degree_graph(24, 5, seed=seed)
+            alg = doubling_algorithm()
+            fm = fm_from_node_outputs(g, alg.run_on(g))
+            opt, _ = max_weight_fm_lp(g)
+            if opt > 0:
+                assert float(fm.total_weight()) >= opt / 5
+
+
+class TestRoundComplexity:
+    def test_rounds_logarithmic_in_delta(self):
+        """O(log Delta) rounds — the contrast with Theta(Delta) maximality."""
+        observed = []
+        for delta in (2, 4, 8, 16):
+            n = 34 if (34 * delta) % 2 == 0 else 35
+            g = random_regular_graph(n, delta, seed=2)
+            alg = doubling_algorithm()
+            alg.run_on(g)
+            observed.append((delta, alg.rounds_used(g)))
+        for delta, rounds in observed:
+            assert rounds <= initial_exponent(delta) + 2
+
+    def test_rounds_much_smaller_than_delta_for_large_delta(self):
+        delta = 16
+        g = random_regular_graph(34, delta, seed=3)
+        alg = doubling_algorithm()
+        alg.run_on(g)
+        assert alg.rounds_used(g) < delta // 2

@@ -1,0 +1,152 @@
+"""Tests for lifts, covering maps, unfold and mix (repro.graphs.lifts)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.families import (
+    cycle_graph,
+    random_loopy_tree,
+    single_node_with_loops,
+    star_graph,
+)
+from repro.graphs.lifts import (
+    bipartite_double_cover,
+    is_covering_map_ec,
+    is_covering_map_po,
+    mix,
+    random_two_lift,
+    unfold_loop,
+)
+from repro.graphs.multigraph import ECGraph
+from repro.graphs.ports import po_double_from_ec
+
+
+class TestCoveringMapCheck:
+    def test_identity_is_covering(self):
+        g = cycle_graph(5)
+        assert is_covering_map_ec(g, g, {v: v for v in g.nodes()})
+
+    def test_wrong_degree_rejected(self):
+        g = star_graph(3)
+        h = star_graph(2)
+        alpha = {0: 0, 1: 1, 2: 2}
+        assert not is_covering_map_ec(h, g, alpha)
+
+    def test_non_onto_rejected(self):
+        g = cycle_graph(4)
+        alpha = {v: 0 for v in g.nodes()}
+        assert not is_covering_map_ec(g, g, alpha)
+
+    def test_po_identity(self):
+        d = po_double_from_ec(cycle_graph(4))
+        assert is_covering_map_po(d, d, {v: v for v in d.nodes()})
+
+
+class TestUnfoldLoop:
+    def test_unfold_is_2lift(self):
+        g = single_node_with_loops(3)
+        loop = g.loops_at(0)[0]
+        gg, alpha, new_eid = unfold_loop(g, loop.eid)
+        assert gg.num_nodes() == 2
+        assert is_covering_map_ec(gg, g, alpha)
+        e = gg.edge(new_eid)
+        assert not e.is_loop and e.color == loop.color
+
+    def test_unfold_rejects_non_loop(self):
+        g = star_graph(2)
+        e = g.edge_at(0, 1)
+        with pytest.raises(ValueError):
+            unfold_loop(g, e.eid)
+
+    def test_unfold_preserves_degrees(self):
+        g = random_loopy_tree(5, 2, seed=4)
+        loop = g.loops_at(0)[0]
+        gg, alpha, _ = unfold_loop(g, loop.eid)
+        for v in gg.nodes():
+            assert gg.degree(v) == g.degree(alpha[v])
+
+    def test_unfold_loses_one_loop_at_anchor(self):
+        g = single_node_with_loops(3)
+        loop = g.loops_at(0)[0]
+        gg, _, _ = unfold_loop(g, loop.eid)
+        for side in (0, 1):
+            assert gg.loop_count((side, 0)) == 2
+
+
+class TestMix:
+    def test_mix_structure(self):
+        g = single_node_with_loops(3)
+        h = single_node_with_loops(2)
+        gh, new_eid = mix(g, g.edge_at(0, 1).eid, h, h.edge_at(0, 1).eid)
+        assert gh.num_nodes() == 2
+        e = gh.edge(new_eid)
+        assert e.color == 1 and not e.is_loop
+        assert gh.degree((0, 0)) == 3
+        assert gh.degree((1, 0)) == 2
+
+    def test_mix_requires_matching_colors(self):
+        g = single_node_with_loops(2)
+        h = single_node_with_loops(2)
+        with pytest.raises(ValueError):
+            mix(g, g.edge_at(0, 1).eid, h, h.edge_at(0, 2).eid)
+
+    def test_mix_requires_loops(self):
+        g = star_graph(2)
+        h = single_node_with_loops(1)
+        with pytest.raises(ValueError):
+            mix(g, g.edge_at(0, 1).eid, h, h.edge_at(0, 1).eid)
+
+    def test_mix_preserves_tree_shape(self):
+        """(P3): mixing two trees-with-loops along loops gives a tree."""
+        g = random_loopy_tree(4, 2, seed=9)
+        h = random_loopy_tree(3, 2, seed=10)
+        gh, _ = mix(g, g.loops_at(0)[0].eid, h, h.loops_at(0)[0].eid)
+        assert gh.is_tree_ignoring_loops()
+
+
+class TestRandomLifts:
+    def test_random_two_lift_is_covering(self, rng):
+        for seed in range(5):
+            g = random_loopy_tree(5, 1, seed=seed)
+            lifted, alpha = random_two_lift(g, rng)
+            assert is_covering_map_ec(lifted, g, alpha)
+
+    def test_two_lift_doubles_sizes(self, rng):
+        g = cycle_graph(5)
+        lifted, _ = random_two_lift(g, rng)
+        assert lifted.num_nodes() == 2 * g.num_nodes()
+
+    def test_crossed_loop_unfolds(self):
+        g = single_node_with_loops(1)
+        crossing_rng = random.Random(0)
+        # try until we observe both behaviours across seeds
+        saw_loop, saw_edge = False, False
+        for seed in range(20):
+            lifted, _ = random_two_lift(g, random.Random(seed))
+            if any(e.is_loop for e in lifted.edges()):
+                saw_loop = True
+            else:
+                saw_edge = True
+        assert saw_loop and saw_edge
+
+
+class TestBipartiteDoubleCover:
+    def test_is_covering_and_bipartite(self):
+        import networkx as nx
+
+        g = cycle_graph(5)  # odd cycle: not bipartite
+        cover, alpha = bipartite_double_cover(g)
+        assert is_covering_map_ec(cover, g, alpha)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(cover.nodes())
+        nxg.add_edges_from((e.u, e.v) for e in cover.edges())
+        assert nx.is_bipartite(nxg)
+
+    def test_loops_become_edges(self):
+        g = single_node_with_loops(2)
+        cover, _ = bipartite_double_cover(g)
+        assert all(not e.is_loop for e in cover.edges())
+        assert cover.num_edges() == 2

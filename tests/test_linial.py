@@ -1,0 +1,93 @@
+"""Tests for Linial colour reduction (repro.coloring.linial)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.coloring.linial import (
+    greedy_reduce_to,
+    linial_reduce,
+    linial_step,
+    next_prime,
+    reduction_parameters,
+    validate_coloring,
+)
+
+
+def adjacency_of(g: "nx.Graph"):
+    return {v: sorted(g.neighbors(v)) for v in g.nodes()}
+
+
+class TestPrimes:
+    def test_next_prime(self):
+        assert next_prime(2) == 2
+        assert next_prime(4) == 5
+        assert next_prime(14) == 17
+        assert next_prime(1) == 2
+
+
+class TestParameters:
+    def test_good_point_guarantee(self):
+        q, d = reduction_parameters(m=1000, delta=4)
+        assert q ** (d + 1) >= 1000
+        assert q > d * 4
+
+    def test_small_palette_degree_zero_poly(self):
+        q, d = reduction_parameters(m=3, delta=2)
+        assert d == 0 or q > d * 2
+
+
+class TestStep:
+    def test_one_step_properness(self):
+        g = nx.random_regular_graph(4, 20, seed=1)
+        adj = adjacency_of(g)
+        colors = {v: v * 97 + 13 for v in g.nodes()}  # unique = proper
+        new_colors, palette = linial_step(colors, adj, 4)
+        assert validate_coloring(new_colors, adj)
+        assert max(new_colors.values()) < palette
+
+    def test_palette_shrinks_from_large(self):
+        g = nx.cycle_graph(50)
+        adj = adjacency_of(g)
+        colors = {v: v * 10**6 for v in g.nodes()}
+        new_colors, palette = linial_step(colors, adj, 2)
+        assert palette < 10**6 * 49 + 1
+
+
+class TestReduce:
+    def test_reaches_delta_squared_palette(self):
+        g = nx.random_regular_graph(3, 30, seed=2)
+        adj = adjacency_of(g)
+        colors = {v: v * 1009 for v in g.nodes()}
+        final, rounds = linial_reduce(colors, adj, 3)
+        assert validate_coloring(final, adj)
+        q = next_prime(4)
+        assert max(final.values()) < q * q + q  # O(Delta^2) palette
+        assert rounds <= 6  # log* behaviour
+
+    def test_reduce_deterministic(self):
+        g = nx.cycle_graph(12)
+        adj = adjacency_of(g)
+        colors = {v: v * 31 for v in g.nodes()}
+        a, _ = linial_reduce(dict(colors), adj, 2)
+        b, _ = linial_reduce(dict(colors), adj, 2)
+        assert a == b
+
+
+class TestGreedyReduce:
+    def test_reduce_to_delta_plus_one(self):
+        g = nx.random_regular_graph(4, 16, seed=3)
+        adj = adjacency_of(g)
+        colors = {v: v for v in g.nodes()}  # palette 16, proper
+        reduced, rounds = greedy_reduce_to(colors, adj, target=5)
+        assert validate_coloring(reduced, adj)
+        assert max(reduced.values()) < 5
+        assert rounds == 16 - 5
+
+    def test_already_small_is_noop(self):
+        adj = {0: [1], 1: [0]}
+        colors = {0: 0, 1: 1}
+        reduced, rounds = greedy_reduce_to(colors, adj, target=3)
+        assert reduced == colors
+        assert rounds == 0

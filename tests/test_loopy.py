@@ -1,0 +1,54 @@
+"""Tests for loopiness (repro.graphs.loopy, paper Definition 1)."""
+
+from __future__ import annotations
+
+from repro.graphs.families import (
+    cycle_graph,
+    path_graph,
+    random_loopy_tree,
+    single_node_with_loops,
+)
+from repro.graphs.lifts import unfold_loop
+from repro.graphs.loopy import is_k_loopy, is_loopy, loopiness, min_direct_loops
+from repro.graphs.multigraph import ECGraph
+
+
+class TestLoopiness:
+    def test_single_node(self):
+        assert loopiness(single_node_with_loops(4)) == 4
+        assert is_k_loopy(single_node_with_loops(4), 4)
+        assert not is_k_loopy(single_node_with_loops(4), 5)
+
+    def test_loop_free_graph(self):
+        assert loopiness(path_graph(3)) == 0
+        assert not is_loopy(path_graph(3))
+
+    def test_random_loopy_tree_budget(self):
+        g = random_loopy_tree(6, 2, seed=3)
+        assert loopiness(g) >= 2
+
+    def test_empty_graph(self):
+        assert loopiness(ECGraph()) == 0
+
+
+class TestFactorLoopiness:
+    def test_symmetric_structure_counts_as_loops(self):
+        """A 2-lift of a loopy graph is still loopy: the unfolded loop edge
+        collapses back to a loop in the factor graph, so loopiness sees it."""
+        g = single_node_with_loops(2)
+        gg, _, _ = unfold_loop(g, g.loops_at(0)[0].eid)
+        # each node of GG has only 1 direct loop, but the factor has 2
+        assert min_direct_loops(gg) == 1
+        assert loopiness(gg) == 2
+
+    def test_min_direct_loops_lower_bounds_loopiness(self):
+        for seed in range(4):
+            g = random_loopy_tree(5, 1, seed=seed)
+            assert min_direct_loops(g) <= loopiness(g)
+
+    def test_even_cycle_is_loopy_via_factor(self):
+        """An alternating 2-coloured even cycle factors to loops: anonymous
+        algorithms cannot break its symmetry, exactly what loopiness measures."""
+        g = cycle_graph(4)
+        assert min_direct_loops(g) == 0
+        assert loopiness(g) >= 1

@@ -1,0 +1,64 @@
+"""Tests for Luby's MIS (repro.coloring.mis)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.coloring.mis import luby_mis, validate_mis
+
+
+class TestLuby:
+    def test_valid_mis_on_samples(self):
+        rng = random.Random(3)
+        for g in (
+            nx.path_graph(10),
+            nx.cycle_graph(9),
+            nx.complete_graph(8),
+            nx.random_regular_graph(4, 20, seed=0),
+            nx.gnp_random_graph(25, 0.2, seed=1),
+        ):
+            mis, rounds = luby_mis(g, rng)
+            assert validate_mis(g, mis), g
+
+    def test_complete_graph_single_winner(self):
+        mis, _ = luby_mis(nx.complete_graph(10), random.Random(0))
+        assert len(mis) == 1
+
+    def test_empty_graph_all_join(self):
+        g = nx.empty_graph(5)
+        mis, rounds = luby_mis(g, random.Random(0))
+        assert mis == set(range(5))
+        assert rounds == 2  # one iteration suffices
+
+    def test_rounds_logarithmic(self):
+        g = nx.random_regular_graph(4, 256, seed=2)
+        _, rounds = luby_mis(g, random.Random(5))
+        assert rounds <= 40
+
+    def test_matching_via_line_graph(self):
+        """A maximal matching is an MIS of the line graph."""
+        g = nx.random_regular_graph(3, 16, seed=3)
+        lg = nx.line_graph(g)
+        mis, _ = luby_mis(lg, random.Random(7))
+        matched = set()
+        for (u, v) in mis:
+            assert u not in matched and v not in matched
+            matched |= {u, v}
+        for (u, v) in g.edges():
+            assert u in matched or v in matched
+
+
+class TestValidator:
+    def test_rejects_dependent_set(self):
+        g = nx.path_graph(3)
+        assert not validate_mis(g, {0, 1})
+
+    def test_rejects_non_maximal(self):
+        g = nx.path_graph(5)
+        assert not validate_mis(g, {0})
+
+    def test_accepts(self):
+        g = nx.path_graph(5)
+        assert validate_mis(g, {0, 2, 4})

@@ -1,0 +1,223 @@
+"""Tests for the EC multigraph substrate (repro.graphs.multigraph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.multigraph import ECGraph, ImproperColoringError
+
+
+def build_sample() -> ECGraph:
+    g = ECGraph()
+    g.add_edge("a", "b", 1)
+    g.add_edge("b", "c", 2)
+    g.add_edge("a", "a", 2)  # loop at a
+    return g
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self):
+        g = ECGraph()
+        g.add_node("v")
+        g.add_node("v")
+        assert g.nodes() == ["v"]
+
+    def test_add_edge_assigns_ids(self):
+        g = ECGraph()
+        e1 = g.add_edge("a", "b", 1)
+        e2 = g.add_edge("b", "c", 2)
+        assert e1 != e2
+        assert g.edge(e1).color == 1
+        assert g.edge(e2).endpoints() == ("b", "c")
+
+    def test_explicit_edge_id_respected(self):
+        g = ECGraph()
+        eid = g.add_edge("a", "b", 1, eid=42)
+        assert eid == 42
+        nxt = g.add_edge("b", "c", 2)
+        assert nxt > 42
+
+    def test_duplicate_edge_id_rejected(self):
+        g = ECGraph()
+        g.add_edge("a", "b", 1, eid=7)
+        with pytest.raises(ValueError):
+            g.add_edge("c", "d", 1, eid=7)
+
+    def test_proper_coloring_enforced_at_endpoint(self):
+        g = ECGraph()
+        g.add_edge("a", "b", 1)
+        with pytest.raises(ImproperColoringError):
+            g.add_edge("a", "c", 1)
+
+    def test_proper_coloring_enforced_for_loop(self):
+        g = ECGraph()
+        g.add_edge("a", "a", 1)
+        with pytest.raises(ImproperColoringError):
+            g.add_edge("a", "b", 1)
+
+    def test_loop_occupies_single_slot(self):
+        g = ECGraph()
+        g.add_edge("a", "a", 3)
+        assert g.degree("a") == 1
+        assert g.incident_colors("a") == [3]
+
+
+class TestDegreesAndLoops:
+    def test_loop_counts_once(self):
+        """EC convention (paper Section 3.5): a loop adds +1 to the degree."""
+        g = build_sample()
+        assert g.degree("a") == 2  # edge to b + one loop
+        assert g.degree("b") == 2
+        assert g.degree("c") == 1
+
+    def test_max_degree(self):
+        assert build_sample().max_degree() == 2
+        assert ECGraph().max_degree() == 0
+
+    def test_loops_at(self):
+        g = build_sample()
+        loops = g.loops_at("a")
+        assert len(loops) == 1 and loops[0].color == 2
+        assert g.loops_at("b") == []
+        assert g.loop_count("a") == 1
+
+    def test_neighbors_include_self_for_loop(self):
+        g = build_sample()
+        assert "a" in g.neighbors("a")
+        assert set(g.neighbors("b")) == {"a", "c"}
+
+
+class TestQueries:
+    def test_edge_at(self):
+        g = build_sample()
+        assert g.edge_at("a", 1).other("a") == "b"
+        assert g.edge_at("a", 2).is_loop
+        assert g.edge_at("c", 1) is None
+
+    def test_incident_edges_sorted_by_color(self):
+        g = build_sample()
+        colors = [e.color for e in g.incident_edges("a")]
+        assert colors == sorted(colors)
+
+    def test_colors(self):
+        assert build_sample().colors() == [1, 2]
+
+    def test_is_simple(self):
+        g = build_sample()
+        assert not g.is_simple()  # has a loop
+        h = ECGraph()
+        h.add_edge(0, 1, 1)
+        h.add_edge(1, 2, 2)
+        assert h.is_simple()
+
+    def test_parallel_edges_not_simple(self):
+        h = ECGraph()
+        h.add_edge(0, 1, 1)
+        h.add_edge(0, 1, 2)  # parallel, different colour: allowed but not simple
+        assert not h.is_simple()
+
+    def test_edge_other_raises_for_non_endpoint(self):
+        g = build_sample()
+        e = g.edge_at("a", 1)
+        with pytest.raises(KeyError):
+            e.other("c")
+
+    def test_contains_iter_len(self):
+        g = build_sample()
+        assert "a" in g and "z" not in g
+        assert sorted(g) == ["a", "b", "c"]
+        assert len(g) == 3
+
+
+class TestRemoval:
+    def test_remove_edge_frees_slots(self):
+        g = build_sample()
+        e = g.edge_at("a", 1)
+        g.remove_edge(e.eid)
+        assert g.edge_at("a", 1) is None
+        assert g.edge_at("b", 1) is None
+        g.add_edge("a", "c", 1)  # slot reusable
+
+    def test_remove_loop(self):
+        g = build_sample()
+        loop = g.loops_at("a")[0]
+        g.remove_edge(loop.eid)
+        assert g.degree("a") == 1
+        g.validate()
+
+    def test_remove_node_removes_incident(self):
+        g = build_sample()
+        g.remove_node("b")
+        assert not g.has_node("b")
+        assert g.degree("a") == 1  # only the loop remains
+        g.validate()
+
+
+class TestTraversal:
+    def test_bfs_distances(self):
+        g = build_sample()
+        d = g.bfs_distances("a")
+        assert d == {"a": 0, "b": 1, "c": 2}
+
+    def test_bfs_max_dist(self):
+        g = build_sample()
+        d = g.bfs_distances("a", max_dist=1)
+        assert d == {"a": 0, "b": 1}
+
+    def test_loops_do_not_shorten_distances(self):
+        g = ECGraph()
+        g.add_edge(0, 0, 1)
+        g.add_edge(0, 1, 2)
+        assert g.bfs_distances(0)[1] == 1
+
+    def test_connected_components(self):
+        g = build_sample()
+        g.add_edge("x", "y", 1)
+        comps = g.connected_components()
+        assert len(comps) == 2
+        assert not g.is_connected()
+
+    def test_tree_ignoring_loops(self):
+        g = build_sample()
+        assert g.is_tree_ignoring_loops()
+        g.add_edge("a", "c", 3)  # creates a cycle
+        assert not g.is_tree_ignoring_loops()
+
+
+class TestCopyCombine:
+    def test_copy_preserves_ids_and_structure(self):
+        g = build_sample()
+        h = g.copy()
+        assert sorted(h.nodes()) == sorted(g.nodes())
+        assert {(e.eid, e.color) for e in h.edges()} == {(e.eid, e.color) for e in g.edges()}
+        h.remove_node("a")
+        assert g.has_node("a")  # deep copy
+
+    def test_relabel(self):
+        g = build_sample()
+        h = g.relabel({"a": "A"})
+        assert h.has_node("A") and not h.has_node("a")
+        assert h.edge_at("A", 2).is_loop
+
+    def test_relabel_rejects_collision(self):
+        g = build_sample()
+        with pytest.raises(ValueError):
+            g.relabel({"a": "b"})
+
+    def test_disjoint_union(self):
+        g = build_sample()
+        u = g.disjoint_union(g)
+        assert u.num_nodes() == 2 * g.num_nodes()
+        assert u.num_edges() == 2 * g.num_edges()
+        assert u.has_node((0, "a")) and u.has_node((1, "a"))
+
+    def test_induced_subgraph(self):
+        g = build_sample()
+        s = g.induced_subgraph(["a", "b"])
+        assert s.num_nodes() == 2
+        assert s.num_edges() == 2  # a-b edge + loop at a
+        with pytest.raises(KeyError):
+            g.induced_subgraph(["nope"])
+
+    def test_validate_passes_on_consistent_graph(self):
+        build_sample().validate()

@@ -1,0 +1,47 @@
+"""Tests for the networkx bridge (repro.graphs.nxbridge)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.families import cycle_graph, single_node_with_loops
+from repro.graphs.nxbridge import from_networkx, to_networkx
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        g = cycle_graph(5)
+        back = from_networkx(to_networkx(g))
+        assert sorted(back.nodes()) == sorted(g.nodes())
+        # endpoint order within an undirected edge may flip through networkx
+        assert {(frozenset((e.u, e.v)), e.color) for e in back.edges()} == {
+            (frozenset((e.u, e.v)), e.color) for e in g.edges()
+        }
+
+    def test_loops_survive(self):
+        g = single_node_with_loops(3)
+        back = from_networkx(to_networkx(g))
+        assert back.loop_count(0) == 3
+
+    def test_edge_ids_preserved(self):
+        g = cycle_graph(4)
+        back = from_networkx(to_networkx(g))
+        for e in g.edges():
+            assert back.edge(e.eid).color == e.color
+
+
+class TestFromPlainNetworkx:
+    def test_uncolored_graph_gets_colored(self):
+        nxg = nx.MultiGraph()
+        nxg.add_edges_from([(0, 1), (1, 2), (2, 0)])
+        g = from_networkx(nxg)
+        assert g.num_edges() == 3
+        g.validate()  # proper colouring was assigned
+
+    def test_mixed_colored_uncolored(self):
+        nxg = nx.MultiGraph()
+        nxg.add_edge(0, 1, color=5)
+        nxg.add_edge(1, 2)
+        g = from_networkx(nxg)
+        assert g.num_edges() == 2
+        assert g.edge_at(0, 5) is not None

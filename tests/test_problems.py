@@ -1,0 +1,100 @@
+"""Tests for the locally-checkable-problems facade (repro.problems)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.separations import maximal_matching_in_ec
+from repro.graphs.families import (
+    cycle_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    single_node_with_loops,
+)
+from repro.matching.greedy_color import greedy_color_algorithm
+from repro.matching.fm import fm_from_node_outputs
+from repro.matching.vertex_cover import vertex_cover_from_fm
+from repro.problems import (
+    PROBLEMS,
+    MaximalFractionalMatching,
+    MaximalMatching,
+    TwoApproxVertexCover,
+)
+
+F = Fraction
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(PROBLEMS) == {
+            "maximal-fractional-matching",
+            "maximal-matching",
+            "vertex-cover",
+        }
+
+    def test_radius_one(self):
+        assert all(p.radius == 1 for p in PROBLEMS.values())
+
+
+class TestMaximalFM:
+    def test_accepts_algorithm_output(self):
+        g = random_bounded_degree_graph(15, 4, seed=0)
+        outputs = greedy_color_algorithm().run_on(g)
+        assert MaximalFractionalMatching().is_valid(g, outputs)
+
+    def test_rejects_zero(self):
+        g = path_graph(3)
+        zero = {v: {e.color: F(0) for e in g.incident_edges(v)} for v in g.nodes()}
+        problems = MaximalFractionalMatching().violations(g, zero)
+        assert any("saturated" in p for p in problems)
+
+    def test_rejects_inconsistent(self):
+        g = path_graph(2)
+        bad = {0: {1: F(1)}, 1: {1: F(0)}}
+        problems = MaximalFractionalMatching().violations(g, bad)
+        assert problems and "inconsistent" in problems[0]
+
+
+class TestMaximalMatchingProblem:
+    def test_accepts_ec_matching(self):
+        g = cycle_graph(8)
+        chosen, _ = maximal_matching_in_ec(g)
+        assert MaximalMatching().is_valid(g, chosen)
+
+    def test_rejects_overlap(self):
+        g = path_graph(3)
+        problems = MaximalMatching().violations(g, {0, 1})
+        assert any("overlaps" in p for p in problems)
+
+    def test_rejects_loops(self):
+        g = single_node_with_loops(1)
+        problems = MaximalMatching().violations(g, {0})
+        assert any("loop" in p for p in problems)
+
+    def test_rejects_non_maximal(self):
+        g = path_graph(5)
+        problems = MaximalMatching().violations(g, {0})
+        assert any("not maximal" in p for p in problems)
+
+    def test_rejects_unknown_edge(self):
+        g = path_graph(2)
+        problems = MaximalMatching().violations(g, {99})
+        assert any("does not exist" in p for p in problems)
+
+
+class TestVertexCoverProblem:
+    def test_accepts_extracted_cover(self):
+        g = random_bounded_degree_graph(15, 4, seed=1)
+        fm = fm_from_node_outputs(g, greedy_color_algorithm().run_on(g))
+        cover = vertex_cover_from_fm(fm)
+        assert TwoApproxVertexCover().is_valid(g, cover)
+
+    def test_rejects_uncovered(self):
+        g = path_graph(4)
+        problems = TwoApproxVertexCover().violations(g, {0})
+        assert any("uncovered" in p for p in problems)
+
+    def test_rejects_unknown_nodes(self):
+        g = path_graph(2)
+        problems = TwoApproxVertexCover().violations(g, {"ghost"})
+        assert any("unknown" in p for p in problems)

@@ -1,0 +1,124 @@
+"""Tests for the propagation principle (repro.core.propagation, Facts 3/8)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs.families import random_loopy_tree, single_node_with_loops
+from repro.graphs.multigraph import ECGraph
+from repro.core.propagation import (
+    PropagationError,
+    disagreeing_colors,
+    disagreement_walk,
+    next_disagreement,
+    node_load_of_output,
+)
+
+F = Fraction
+
+
+def loopy_path() -> ECGraph:
+    """a -- b, with loops: a has loops 2,3; b has loops 2,3 (colour 1 = edge)."""
+    g = ECGraph()
+    g.add_edge("a", "b", 1)
+    g.add_edge("a", "a", 2)
+    g.add_edge("a", "a", 3)
+    g.add_edge("b", "b", 2)
+    g.add_edge("b", "b", 3)
+    return g
+
+
+def saturated_outputs(edge_w, a_loops, b_loops):
+    """Two saturated assignments on loopy_path parameterised by weights."""
+    return {
+        "a": {1: edge_w, 2: a_loops[0], 3: a_loops[1]},
+        "b": {1: edge_w, 2: b_loops[0], 3: b_loops[1]},
+    }
+
+
+class TestLoads:
+    def test_node_load(self):
+        g = loopy_path()
+        out = saturated_outputs(F(1, 2), (F(1, 4), F(1, 4)), (F(1, 4), F(1, 4)))
+        assert node_load_of_output(g, out, "a") == F(1)
+
+    def test_disagreeing_colors(self):
+        g = loopy_path()
+        o1 = saturated_outputs(F(1, 2), (F(1, 4), F(1, 4)), (F(1, 4), F(1, 4)))
+        o2 = saturated_outputs(F(1, 2), (F(1, 2), F(0)), (F(1, 4), F(1, 4)))
+        assert disagreeing_colors(o1, o2, "a") == [2, 3]
+        assert disagreeing_colors(o1, o2, "b") == []
+
+
+class TestFact3:
+    def test_second_disagreement_exists(self):
+        """Saturated in both + one disagreement => another disagreement."""
+        g = loopy_path()
+        o1 = saturated_outputs(F(1, 2), (F(1, 4), F(1, 4)), (F(1, 4), F(1, 4)))
+        o2 = saturated_outputs(F(1, 4), (F(1, 2), F(1, 4)), (F(1, 2), F(1, 4)))
+        c = next_disagreement(g, o1, o2, "a", incoming=1)
+        assert c == 2
+
+    def test_unsaturated_rejected(self):
+        g = loopy_path()
+        o1 = saturated_outputs(F(1, 2), (F(1, 4), F(1, 4)), (F(1, 4), F(1, 4)))
+        o2 = saturated_outputs(F(1, 4), (F(1, 4), F(1, 4)), (F(1, 4), F(1, 4)))
+        with pytest.raises(PropagationError, match="not saturated"):
+            next_disagreement(g, o1, o2, "a", incoming=1)
+
+    def test_no_incoming_disagreement_rejected(self):
+        g = loopy_path()
+        o1 = saturated_outputs(F(1, 2), (F(1, 4), F(1, 4)), (F(1, 4), F(1, 4)))
+        with pytest.raises(PropagationError, match="no disagreement"):
+            next_disagreement(g, o1, o1, "a", incoming=1)
+
+
+class TestWalk:
+    def test_walk_resolves_at_loop(self):
+        g = loopy_path()
+        o1 = saturated_outputs(F(1, 2), (F(1, 4), F(1, 4)), (F(1, 4), F(1, 4)))
+        o2 = saturated_outputs(F(1, 4), (F(1, 2), F(1, 4)), (F(1, 2), F(1, 4)))
+        node, color, trail = disagreement_walk(g, o1, o2, "a", 1)
+        assert node == "a" and color == 2
+        assert g.edge_at(node, color).is_loop
+        assert trail == [("a", 2)]
+
+    def test_walk_crosses_tree_edges(self):
+        """Disagreement injected at one end travels the path to a far loop."""
+        g = ECGraph()
+        g.add_edge("a", "b", 1)
+        g.add_edge("b", "c", 4)
+        g.add_edge("a", "a", 2)
+        g.add_edge("b", "b", 2)
+        g.add_edge("c", "c", 2)
+        o1 = {
+            "a": {1: F(1, 2), 2: F(1, 2)},
+            "b": {1: F(1, 2), 4: F(1, 4), 2: F(1, 4)},
+            "c": {4: F(1, 4), 2: F(3, 4)},
+        }
+        o2 = {
+            "a": {1: F(1, 4), 2: F(3, 4)},
+            "b": {1: F(1, 4), 4: F(1, 2), 2: F(1, 4)},
+            "c": {4: F(1, 2), 2: F(1, 2)},
+        }
+        # start at 'a' with the disagreement on the loop... walk from the edge
+        node, color, trail = disagreement_walk(g, o1, o2, "a", 2)
+        assert (node, color) == ("c", 2)
+        assert [n for n, _ in trail] == ["a", "b", "c"]
+
+    def test_walk_requires_tree(self):
+        from repro.graphs.families import cycle_graph
+
+        g = cycle_graph(4)
+        with pytest.raises(PropagationError, match="tree"):
+            disagreement_walk(g, {}, {}, 0, 1)
+
+    def test_walk_never_returns_start_color(self):
+        """The resolving loop differs from the incoming edge (e* != e)."""
+        g = single_node_with_loops(3)
+        o1 = {0: {1: F(1, 3), 2: F(1, 3), 3: F(1, 3)}}
+        o2 = {0: {1: F(1, 3), 2: F(1, 2), 3: F(1, 6)}}
+        node, color, _ = disagreement_walk(g, o1, o2, 0, 2)
+        assert color == 3  # not the incoming colour 2

@@ -1,0 +1,151 @@
+"""Property-based tests for the graph substrate: structural invariants that
+the lower-bound machinery silently relies on."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.cover import universal_cover_ec
+from repro.graphs.factor import factor_graph, stable_partition
+from repro.graphs.families import (
+    ec_from_simple_edges,
+    greedy_edge_coloring,
+    random_bounded_degree_graph,
+    random_loopy_tree,
+)
+from repro.graphs.isomorphism import canonical_rooted_form, rooted_isomorphic
+from repro.graphs.lifts import is_covering_map_ec, random_two_lift, unfold_loop
+from repro.graphs.loopy import loopiness, min_direct_loops
+from repro.graphs.multigraph import ECGraph
+from repro.graphs.neighborhoods import ball
+from repro.local.views import ec_view_tree
+
+seeds = st.integers(min_value=0, max_value=10_000)
+sizes = st.integers(min_value=2, max_value=8)
+
+
+class TestMultigraphInvariants:
+    @given(seeds, sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_add_remove_roundtrip(self, seed, n):
+        g = random_loopy_tree(n, 1, seed=seed)
+        before = {(repr(e.u), repr(e.v), repr(e.color)) for e in g.edges()}
+        e = g.edges()[seed % g.num_edges()]
+        removed = g.remove_edge(e.eid)
+        g.add_edge(removed.u, removed.v, removed.color)
+        after = {(repr(e.u), repr(e.v), repr(e.color)) for e in g.edges()}
+        assert before == after
+        g.validate()
+
+    @given(seeds, sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_handshake_with_loops(self, seed, n):
+        """Sum of degrees = 2 * non-loops + loops under the EC convention."""
+        g = random_loopy_tree(n, 2, seed=seed)
+        non_loops = sum(1 for e in g.edges() if not e.is_loop)
+        loops = sum(1 for e in g.edges() if e.is_loop)
+        assert sum(g.degree(v) for v in g.nodes()) == 2 * non_loops + loops
+
+    @given(seeds, sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_copy_equivalence(self, seed, n):
+        g = random_bounded_degree_graph(3 * n, 4, seed=seed)
+        h = g.copy()
+        assert {e.eid for e in h.edges()} == {e.eid for e in g.edges()}
+        for v in g.nodes():
+            assert h.incident_colors(v) == g.incident_colors(v)
+
+
+class TestColoringProperty:
+    @given(seeds, st.integers(min_value=3, max_value=14))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_edge_coloring_proper(self, seed, n):
+        rng = random.Random(seed)
+        edges = []
+        for v in range(1, n):
+            edges.append((rng.randrange(v), v))
+        coloring = greedy_edge_coloring(edges)
+        g = ec_from_simple_edges(edges)
+        g.validate()  # properness enforced structurally
+        assert len(coloring) == len(edges)
+
+
+class TestFactorProperties:
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_factor_is_idempotent(self, seed, n):
+        """The factor graph is its own factor (it is the minimal base)."""
+        g = random_loopy_tree(n, 1, seed=seed)
+        fg, _ = factor_graph(g)
+        ffg, _ = factor_graph(fg)
+        assert ffg.num_nodes() == fg.num_nodes()
+        assert ffg.num_edges() == fg.num_edges()
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_lift_does_not_change_factor_size(self, seed, n):
+        """G and any 2-lift of G have factor graphs of equal size — they
+        carry the same symmetry-breaking information."""
+        g = random_loopy_tree(n, 1, seed=seed)
+        fg, _ = factor_graph(g)
+        lifted, _ = random_two_lift(g, random.Random(seed + 1))
+        flifted, _ = factor_graph(lifted)
+        assert flifted.num_nodes() == fg.num_nodes()
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_loopiness_invariant_under_lifts(self, seed, n):
+        g = random_loopy_tree(n, 2, seed=seed)
+        lifted, _ = random_two_lift(g, random.Random(seed + 2))
+        assert loopiness(lifted) == loopiness(g)
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_same_class_nodes_have_equal_views(self, seed, n):
+        """Colour refinement never separates less than views do: nodes in
+        one stable class have equal view trees at any depth."""
+        g = random_loopy_tree(n, 1, seed=seed)
+        cls = stable_partition(g)
+        by_class = {}
+        for v in g.nodes():
+            by_class.setdefault(cls[v], []).append(v)
+        for members in by_class.values():
+            views = {ec_view_tree(g, v, 3) for v in members}
+            assert len(views) == 1
+
+
+class TestBallCoverConsistency:
+    @given(seeds, st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_tree_ball_matches_cover_ball(self, seed, n, radius):
+        """On a loop-free tree, tau_r(G, v) is isomorphic to the radius-r
+        truncated universal cover (a tree is its own cover)."""
+        rng = random.Random(seed)
+        edges = [(rng.randrange(v), v) for v in range(1, n)]
+        g = ec_from_simple_edges(edges) if edges else None
+        if g is None:
+            return
+        v = rng.randrange(n)
+        b = ball(g, v, radius)
+        cover = universal_cover_ec(g, v, radius)
+        assert rooted_isomorphic(b.graph, b.root, cover.tree, cover.root)
+
+    @given(seeds, sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_unfolding_preserves_balls_outside_anchor(self, seed, n):
+        """Away from the unfolded loop, radius-1 balls look the same in G
+        and GG (the locality the adversary's induction leans on)."""
+        g = random_loopy_tree(n, 2, seed=seed)
+        anchor = 0
+        loop = g.loops_at(anchor)[0]
+        gg, alpha, _ = unfold_loop(g, loop.eid)
+        for w in gg.nodes():
+            if alpha[w] == anchor:
+                continue
+            b_lift = ball(gg, w, 1)
+            b_base = ball(g, alpha[w], 1)
+            assert canonical_rooted_form(b_lift.graph, w) == canonical_rooted_form(
+                b_base.graph, alpha[w]
+            )

@@ -1,0 +1,119 @@
+"""Tests for the proposal dynamics (repro.matching.proposal)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.core.saturation import check_lift_invariance
+from repro.graphs.families import (
+    caterpillar,
+    cycle_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_loopy_tree,
+    random_regular_graph,
+    single_node_with_loops,
+    star_graph,
+)
+from repro.graphs.ports import po_double_from_ec
+from repro.local.algorithm import SimulatedPOWeights
+from repro.local.runtime import IDNetwork, run
+from repro.matching.fm import fm_from_node_outputs, po_node_load
+from repro.matching.proposal import ProposalFM, proposal_algorithm
+
+
+class TestECCorrectness:
+    def test_feasible_and_maximal(self):
+        graphs = [
+            path_graph(6),
+            cycle_graph(7),
+            star_graph(5),
+            caterpillar(4, 3),
+            random_bounded_degree_graph(20, 5, seed=1),
+            random_loopy_tree(6, 2, seed=1),
+        ]
+        for g in graphs:
+            alg = proposal_algorithm()
+            fm = fm_from_node_outputs(g, alg.run_on(g))
+            assert fm.is_feasible(), repr(g)
+            assert fm.is_maximal(), repr(g)
+
+    def test_star_saturates_centre_in_one_round(self):
+        g = star_graph(5)
+        alg = proposal_algorithm()
+        fm = fm_from_node_outputs(g, alg.run_on(g))
+        assert fm.is_saturated(0)
+        assert alg.rounds_used(g) <= 2
+
+    def test_loops_saturate(self):
+        g = single_node_with_loops(3)
+        alg = proposal_algorithm()
+        outputs = alg.run_on(g)
+        assert sum(outputs[0].values()) == Fraction(1)
+
+    def test_regular_graphs_finish_fast(self):
+        """On d-regular graphs all proposals tie: done in one round."""
+        g = random_regular_graph(14, 4, seed=2)
+        alg = proposal_algorithm()
+        fm = fm_from_node_outputs(g, alg.run_on(g))
+        assert fm.is_fully_saturated()
+        assert alg.rounds_used(g) <= 2
+
+
+class TestRoundsBound:
+    def test_rounds_at_most_n(self):
+        for seed in range(3):
+            g = random_bounded_degree_graph(25, 5, seed=seed)
+            alg = proposal_algorithm()
+            alg.run_on(g)
+            assert alg.rounds_used(g) <= g.num_nodes() + 2
+
+
+class TestOtherModels:
+    def test_po_model(self):
+        d = po_double_from_ec(cycle_graph(6))
+        alg = SimulatedPOWeights(ProposalFM("PO"))
+        outputs = alg.run_on(d)
+        for v in d.nodes():
+            weights = {}
+            for slot, w in outputs[v].items():
+                kind, c = slot
+                arc = d.out_edge(v, c) if kind == "out" else d.in_edge(v, c)
+                weights[arc.eid] = w
+            assert po_node_load(d, weights, v) == Fraction(1)
+
+    def test_id_model(self):
+        g = nx.path_graph(5)
+        result = run(IDNetwork(g), ProposalFM("ID"))
+        assert result.halted
+        # assemble and check pairwise consistency + maximality
+        loads = {}
+        for v in g.nodes():
+            loads[v] = sum(result.outputs[v].values())
+        for u, v in g.edges():
+            assert result.outputs[u][v] == result.outputs[v][u]
+            assert loads[u] == 1 or loads[v] == 1
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ValueError):
+            ProposalFM("OI")
+
+
+class TestAnonymity:
+    def test_lift_invariance(self):
+        rng = random.Random(11)
+        for g in (cycle_graph(4), random_loopy_tree(4, 1, seed=7)):
+            assert check_lift_invariance(proposal_algorithm(), g, rng, trials=2) == []
+
+    def test_snapshot_returns_current_weights(self):
+        from repro.local.context import NodeContext
+
+        alg = ProposalFM("EC")
+        ctx = NodeContext(node=0, model="EC", ports=(1, 2))
+        state = alg.initial_state(ctx)
+        snap = alg.snapshot(state, ctx)
+        assert snap == {1: Fraction(0), 2: Fraction(0)}

@@ -1,0 +1,103 @@
+"""Tests for the finite Ramsey machinery (repro.core.ramsey)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.ramsey import (
+    find_monochromatic_subset,
+    order_invariant_subset,
+    ramsey_pairs,
+)
+
+
+class TestExhaustiveSearch:
+    def test_constant_coloring(self):
+        found = find_monochromatic_subset(range(10), 2, lambda s: 0, target=5)
+        assert found is not None
+        subset, color = found
+        assert len(subset) == 5 and color == 0
+
+    def test_parity_coloring_pairs(self):
+        """Colour a pair by the parity pattern: the even numbers form a
+        monochromatic set."""
+        color = lambda s: (s[0] % 2, s[1] % 2)
+        found = find_monochromatic_subset(range(12), 2, color, target=4)
+        assert found is not None
+        subset, _ = found
+        parities = {x % 2 for x in subset}
+        assert len(parities) == 1
+
+    def test_result_really_monochromatic(self):
+        color = lambda s: sum(s) % 3
+        found = find_monochromatic_subset(range(14), 2, color, target=4)
+        if found:
+            subset, c = found
+            for pair in combinations(subset, 2):
+                assert color(pair) == c
+
+    def test_impossible_returns_none(self):
+        """A rainbow colouring (all colours distinct) has no monochromatic
+        subset beyond the trivial size."""
+        color = lambda s: s  # every k-subset its own colour
+        assert find_monochromatic_subset(range(6), 2, color, target=3) is None
+
+    def test_target_below_k_rejected(self):
+        with pytest.raises(ValueError):
+            find_monochromatic_subset(range(5), 3, lambda s: 0, target=2)
+
+    def test_triples(self):
+        color = lambda s: (s[2] - s[0]) % 2
+        found = find_monochromatic_subset(range(10), 3, color, target=4)
+        if found:
+            subset, c = found
+            for t in combinations(subset, 3):
+                assert color(t) == c
+
+
+class TestPivotPairs:
+    def test_matches_guarantee(self):
+        color = lambda s: (s[0] + s[1]) % 2
+        found = ramsey_pairs(range(30), color, target=4)
+        assert found is not None
+        subset, c = found
+        for pair in combinations(subset, 2):
+            assert color(pair) == c
+
+    def test_large_universe(self):
+        color = lambda s: 1 if s[1] - s[0] > 5 else 0
+        found = ramsey_pairs(range(200), color, target=6)
+        assert found is not None
+        subset, c = found
+        for pair in combinations(subset, 2):
+            assert color(pair) == c
+
+    def test_too_small_returns_none(self):
+        assert ramsey_pairs(range(3), lambda s: s, target=5) is None
+
+
+class TestSequentialRefinement:
+    def test_single_template(self):
+        found = order_invariant_subset(range(12), [(2, lambda s: s[0] % 2)], target=4)
+        assert found is not None
+        subset, constants = found
+        assert len(subset) == 4 and len(constants) == 1
+
+    def test_two_templates_nested_monochromatic(self):
+        templates = [
+            (2, lambda s: s[0] % 2),
+            (2, lambda s: s[1] % 2),
+        ]
+        found = order_invariant_subset(range(24), templates, target=4)
+        assert found is not None
+        subset, constants = found
+        # both templates constant on the final subset
+        for k, behaviour in templates:
+            values = {behaviour(p) for p in combinations(subset, k)}
+            assert len(values) == 1
+
+    def test_failure_propagates(self):
+        templates = [(2, lambda s: s)]  # rainbow
+        assert order_invariant_subset(range(8), templates, target=3) is None

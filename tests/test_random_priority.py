@@ -1,0 +1,155 @@
+"""Tests for randomised maximal FM (repro.matching.random_priority) and the
+tape machinery (repro.local.randomized)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.graphs.families import (
+    cycle_graph,
+    random_bounded_degree_graph,
+    random_loopy_tree,
+    single_node_with_loops,
+    star_graph,
+)
+from repro.local.randomized import my_coins, tape_globals, uniform_tape
+from repro.matching.fm import fm_from_node_outputs
+from repro.matching.random_priority import (
+    RandomPriorityEC,
+    RandomPriorityFM,
+    failure_rate,
+    id_output_is_valid_fm,
+    run_random_priority_id,
+)
+
+
+class TestTape:
+    def test_uniform_tape_coverage(self, rng):
+        tape = uniform_tape(range(10), rng, bits=8)
+        assert set(tape.keys()) == set(range(10))
+        assert all(0 <= v < 256 for v in tape.values())
+
+    def test_tape_globals_key(self, rng):
+        tape = uniform_tape([1, 2], rng)
+        g = tape_globals(tape, delta=4)
+        assert g["random_tape"] == tape and g["delta"] == 4
+
+    def test_my_coins_reads_own_entry(self, rng):
+        from repro.local.context import NodeContext
+
+        ctx = NodeContext(node="x", model="EC", ports=(), globals=tape_globals({"x": 7}))
+        assert my_coins(ctx) == 7
+
+
+class TestECCorrectness:
+    """With colour-salted priorities local ties are impossible, so the EC
+    variant is always a correct maximal-FM algorithm."""
+
+    def test_maximal_on_samples(self, rng):
+        for g in (
+            cycle_graph(7),
+            star_graph(5),
+            random_bounded_degree_graph(18, 4, seed=1),
+            random_loopy_tree(5, 2, seed=2),
+            single_node_with_loops(3),
+        ):
+            tape = uniform_tape(g.nodes(), rng, bits=30)
+            alg = RandomPriorityEC(tape)
+            fm = fm_from_node_outputs(g, alg.run_on(g))
+            assert fm.is_feasible(), repr(g)
+            assert fm.is_maximal(), repr(g)
+
+    def test_even_tiny_tapes_are_safe_in_ec(self, rng):
+        """Colour salts break ties even with 1-bit coins."""
+        g = random_bounded_degree_graph(15, 4, seed=3)
+        tape = uniform_tape(g.nodes(), rng, bits=1)
+        fm = fm_from_node_outputs(g, RandomPriorityEC(tape).run_on(g))
+        assert fm.is_feasible() and fm.is_maximal()
+
+    def test_missing_tape_entry_rejected(self, rng):
+        g = cycle_graph(4)
+        with pytest.raises(KeyError):
+            RandomPriorityEC({0: 1}).run_on(g)
+
+    def test_rounds_reported(self, rng):
+        g = cycle_graph(8)
+        alg = RandomPriorityEC(uniform_tape(g.nodes(), rng, 30))
+        alg.run_on(g)
+        assert alg.rounds_used(g) >= 2  # coins round + at least one firing
+
+
+class TestIDVariant:
+    def test_valid_with_wide_tape(self, rng):
+        g = nx.random_regular_graph(3, 12, seed=1)
+        outputs, rounds = run_random_priority_id(g, uniform_tape(g.nodes(), rng, 30))
+        assert id_output_is_valid_fm(g, outputs)
+        assert rounds <= g.number_of_edges() + 2
+
+    def test_validator_catches_overload(self):
+        g = nx.path_graph(3)
+        bad = {
+            0: {1: Fraction(1)},
+            1: {0: Fraction(1), 2: Fraction(1)},
+            2: {1: Fraction(1)},
+        }
+        assert not id_output_is_valid_fm(g, bad)
+
+    def test_validator_catches_inconsistency(self):
+        g = nx.path_graph(2)
+        bad = {0: {1: Fraction(1)}, 1: {0: Fraction(1, 2)}}
+        assert not id_output_is_valid_fm(g, bad)
+
+    def test_validator_accepts_valid(self):
+        g = nx.path_graph(2)
+        ok = {0: {1: Fraction(1)}, 1: {0: Fraction(1)}}
+        assert id_output_is_valid_fm(g, ok)
+
+
+class TestFailureProbability:
+    """The Appendix B premise: the algorithm fails with a probability
+    controlled by the randomness width."""
+
+    def test_failure_rate_decreases_with_bits(self):
+        rng = random.Random(5)
+        g = nx.random_regular_graph(3, 12, seed=2)
+        narrow = failure_rate(g, rng, bits=1, samples=40)
+        wide = failure_rate(g, rng, bits=24, samples=40)
+        assert narrow > 0.5
+        assert wide == 0.0
+
+    def test_failures_are_real_overloads(self):
+        """A 1-bit tape on a triangle: all priorities tie, everything fires,
+        nodes overload."""
+        rng = random.Random(6)
+        g = nx.cycle_graph(3)
+        tape = {v: 0 for v in g.nodes()}
+        outputs, _ = run_random_priority_id(g, tape)
+        assert not id_output_is_valid_fm(g, outputs)
+
+
+class TestLemma10Integration:
+    """Appendix B end to end with the *real* randomised FM algorithm."""
+
+    def test_find_good_tape_for_fm(self):
+        from repro.core.derandomize import find_good_assignment
+
+        def correct(g, rho):
+            if g.number_of_edges() == 0:
+                return True
+            outputs, _ = run_random_priority_id(g, rho)
+            return id_output_is_valid_fm(g, outputs)
+
+        rng = random.Random(7)
+        found = find_good_assignment(
+            correct, id_sets=[range(4)], rng=rng, rho_bits=16, attempts_per_set=32
+        )
+        assert found is not None
+        ids, rho = found
+        # spot-check on the complete graph over the ids
+        g = nx.complete_graph(4)
+        outputs, _ = run_random_priority_id(g, rho)
+        assert id_output_is_valid_fm(g, outputs)

@@ -1,0 +1,60 @@
+"""Tests for DOT/ASCII rendering (repro.graphs.render)."""
+
+from __future__ import annotations
+
+from repro.core.adversary import run_adversary
+from repro.graphs.families import cycle_graph, single_node_with_loops
+from repro.graphs.render import ascii_summary, to_dot, witness_pair_to_dot
+from repro.matching.greedy_color import greedy_color_algorithm
+
+
+class TestDot:
+    def test_structure(self):
+        dot = to_dot(cycle_graph(4))
+        assert dot.startswith("graph G {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == 4
+
+    def test_loops_render_as_self_edges(self):
+        dot = to_dot(single_node_with_loops(2))
+        assert dot.count(" -- ") == 2
+        # both endpoints of a loop line are the same id
+        loop_lines = [l for l in dot.splitlines() if " -- " in l]
+        for line in loop_lines:
+            left, right = line.strip().split(" -- ")
+            assert left == right.split(" ")[0]
+
+    def test_highlighting(self):
+        g = single_node_with_loops(3)
+        dot = to_dot(g, highlight_nodes=[0], highlight_color=2)
+        assert "doublecircle" in dot
+        assert "penwidth=3" in dot
+
+    def test_colors_assigned_consistently(self):
+        g = cycle_graph(6)
+        dot = to_dot(g)
+        # 2 colours used -> exactly 2 distinct hex colours in edge lines
+        hexes = {part.split('"')[1] for part in dot.splitlines() if 'color="#' in part for part in [part[part.index('color="') + 6:]]}
+        assert len(hexes) == 2
+
+
+class TestWitnessDot:
+    def test_step_renders_both_graphs(self):
+        witness = run_adversary(greedy_color_algorithm(), 4)
+        dot = witness_pair_to_dot(witness.steps[-1])
+        assert "graph G2" in dot and "graph H2" in dot
+        assert "// step 2" in dot
+        assert "doublecircle" in dot
+
+
+class TestAscii:
+    def test_summary_lines(self):
+        g = single_node_with_loops(2)
+        text = ascii_summary(g)
+        assert "deg=2" in text
+        assert "@" in text  # loop marker
+
+    def test_all_nodes_listed(self):
+        g = cycle_graph(5)
+        text = ascii_summary(g)
+        assert len(text.splitlines()) == 5

@@ -1,0 +1,179 @@
+"""Tests for the LOCAL runtime and network adapters (repro.local.runtime)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import networkx as nx
+import pytest
+
+from repro.graphs.families import cycle_graph, single_node_with_loops, star_graph
+from repro.graphs.ports import po_double_from_ec
+from repro.local.algorithm import DistributedAlgorithm
+from repro.local.context import NodeContext
+from repro.local.runtime import ECNetwork, IDNetwork, PONetwork, run, run_rounds
+
+
+class EchoOnce(DistributedAlgorithm):
+    """Sends its port list on every port; halts after one round with the inbox."""
+
+    def __init__(self, model: str = "EC"):
+        self.model = model
+
+    def initial_state(self, ctx: NodeContext):
+        return None
+
+    def send(self, state, ctx: NodeContext):
+        if state is not None:
+            return {}
+        return {p: ("hello", tuple(ctx.ports)) for p in ctx.ports}
+
+    def receive(self, state, ctx: NodeContext, inbox):
+        return dict(inbox) if state is None else state
+
+    def output(self, state, ctx: NodeContext):
+        return state
+
+
+class NeverHalts(DistributedAlgorithm):
+    model = "EC"
+
+    def initial_state(self, ctx):
+        return 0
+
+    def send(self, state, ctx):
+        return {}
+
+    def receive(self, state, ctx, inbox):
+        return state + 1
+
+    def output(self, state, ctx):
+        return None
+
+
+class CountsRounds(DistributedAlgorithm):
+    """Halts after a fixed number of rounds, outputting the count."""
+
+    model = "EC"
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+
+    def initial_state(self, ctx):
+        return 0
+
+    def send(self, state, ctx):
+        return {p: state for p in ctx.ports}
+
+    def receive(self, state, ctx, inbox):
+        return state + 1
+
+    def output(self, state, ctx):
+        return state if state >= self.rounds else None
+
+    def snapshot(self, state, ctx):
+        return ("partial", state)
+
+
+class TestECNetwork:
+    def test_messages_cross_edges(self):
+        g = star_graph(2)
+        result = run(ECNetwork(g), EchoOnce())
+        # leaf 1 (port colour 1) hears from the centre
+        assert result.outputs[1][1][0] == "hello"
+        assert result.rounds == 1
+
+    def test_loop_echo(self):
+        """A message sent on a loop port returns to the sender on that port:
+        the neighbour across a loop is a copy of oneself (Figure 4)."""
+        g = single_node_with_loops(2)
+        result = run(ECNetwork(g), EchoOnce())
+        inbox = result.outputs[0]
+        assert set(inbox.keys()) == {1, 2}
+        assert inbox[1] == ("hello", (1, 2))
+
+    def test_unknown_port_rejected(self):
+        class BadSender(EchoOnce):
+            def send(self, state, ctx):
+                return {99: "boom"} if state is None else {}
+
+        with pytest.raises(KeyError):
+            run(ECNetwork(star_graph(2)), BadSender())
+
+
+class TestPONetwork:
+    def test_out_reaches_in(self):
+        d = po_double_from_ec(star_graph(1))
+        result = run(PONetwork(d), EchoOnce("PO"))
+        # node 0 has an out-arc colour 1 to node 1 and an in-arc from it
+        inbox0 = result.outputs[0]
+        assert ("in", 1) in inbox0 and ("out", 1) in inbox0
+
+    def test_directed_loop_wires_out_to_in(self):
+        d = po_double_from_ec(single_node_with_loops(1))
+        result = run(PONetwork(d), EchoOnce("PO"))
+        inbox = result.outputs[0]
+        assert set(inbox.keys()) == {("out", 1), ("in", 1)}
+
+
+class TestIDNetwork:
+    def test_ports_are_neighbor_ids(self):
+        g = nx.path_graph(3)
+        result = run(IDNetwork(g), EchoOnce("ID"))
+        assert set(result.outputs[1].keys()) == {0, 2}
+
+    def test_self_loops_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            IDNetwork(g)
+
+    def test_identifier_exposed(self):
+        g = nx.path_graph(2)
+        net = IDNetwork(g)
+        assert net.context(1).identifier == 1
+
+
+class TestRun:
+    def test_model_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run(ECNetwork(star_graph(1)), EchoOnce("PO"))
+
+    def test_zero_round_algorithm(self):
+        class Immediate(EchoOnce):
+            def output(self, state, ctx):
+                return "done"
+
+        result = run(ECNetwork(star_graph(2)), Immediate())
+        assert result.rounds == 0 and result.halted
+
+    def test_max_rounds_cap(self):
+        result = run(ECNetwork(star_graph(2)), NeverHalts(), max_rounds=5)
+        assert not result.halted
+        assert result.rounds == 5
+
+    def test_round_count_is_exact(self):
+        result = run(ECNetwork(cycle_graph(4)), CountsRounds(3))
+        assert result.rounds == 3
+        assert all(v == 3 for v in result.outputs.values())
+
+    def test_message_counts_recorded(self):
+        result = run(ECNetwork(cycle_graph(4)), CountsRounds(2))
+        assert result.message_counts[0] == 8  # 4 nodes x 2 ports
+
+
+class TestRunRounds:
+    def test_snapshot_used_for_unfinished_nodes(self):
+        result = run_rounds(ECNetwork(cycle_graph(4)), CountsRounds(10), rounds=3)
+        assert result.rounds == 3
+        assert all(v == ("partial", 3) for v in result.outputs.values())
+
+    def test_stops_early_when_all_halt(self):
+        result = run_rounds(ECNetwork(cycle_graph(4)), CountsRounds(2), rounds=10)
+        assert result.rounds == 2
+        assert all(v == 2 for v in result.outputs.values())
+
+    def test_zero_rounds(self):
+        result = run_rounds(ECNetwork(cycle_graph(4)), CountsRounds(5), rounds=0)
+        assert result.rounds == 0
+        assert all(v == ("partial", 0) for v in result.outputs.values())

@@ -1,0 +1,108 @@
+"""Tests for the model separations of Section 2.1 (repro.core.separations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.separations import (
+    GreedyColorMatching,
+    ec_coloring_impossibility_certificate,
+    maximal_matching_in_ec,
+    two_color_one_regular_po,
+)
+from repro.graphs.digraph import POGraph
+from repro.graphs.families import (
+    complete_graph,
+    cycle_graph,
+    random_bounded_degree_graph,
+    random_loopy_tree,
+    star_graph,
+)
+from repro.local.views import ec_view_tree
+
+
+def is_maximal_matching(g, chosen):
+    matched = set()
+    for eid in chosen:
+        e = g.edge(eid)
+        if e.is_loop or e.u in matched or e.v in matched:
+            return False
+        matched |= {e.u, e.v}
+    return all(e.is_loop or e.u in matched or e.v in matched for e in g.edges())
+
+
+class TestPOCanColor:
+    def test_perfect_matching_two_colored(self):
+        g = POGraph()
+        g.add_edge("a", "b", 1)
+        g.add_edge("c", "d", 2)
+        colors = two_color_one_regular_po(g)
+        assert colors["a"] != colors["b"]
+        assert colors["c"] != colors["d"]
+        assert set(colors.values()) == {0, 1}
+
+    def test_zero_rounds(self):
+        """The colouring uses only locally visible orientation: no messages."""
+        g = POGraph()
+        g.add_edge("a", "b", 1)
+        # the function consults only out/in degrees — a 0-round algorithm
+        colors = two_color_one_regular_po(g)
+        assert colors == {"a": 0, "b": 1}
+
+    def test_rejects_higher_degree(self):
+        g = POGraph()
+        g.add_edge("a", "b", 1)
+        g.add_edge("b", "c", 2)
+        with pytest.raises(ValueError):
+            two_color_one_regular_po(g)
+
+
+class TestECCannotColor:
+    @pytest.mark.parametrize("radius", [0, 1, 3, 6])
+    def test_certificate_views_agree(self, radius):
+        g, u, v = ec_coloring_impossibility_certificate(radius)
+        assert ec_view_tree(g, u, radius) == ec_view_tree(g, v, radius)
+
+    def test_any_ec_algorithm_fails(self):
+        """Concretely: run arbitrary view functions on the certificate; the
+        two endpoints always receive equal outputs."""
+        g, u, v = ec_coloring_impossibility_certificate(4)
+
+        def arbitrary_algorithm(view):
+            return hash(view) % 2  # any function of the view whatsoever
+
+        cu = arbitrary_algorithm(ec_view_tree(g, u, 4))
+        cv = arbitrary_algorithm(ec_view_tree(g, v, 4))
+        assert cu == cv  # never a proper colouring of the edge {u, v}
+
+
+class TestECCanMatch:
+    def test_maximal_matching_on_samples(self):
+        for g in (
+            cycle_graph(8),
+            star_graph(5),
+            complete_graph(5),
+            random_bounded_degree_graph(20, 4, seed=1),
+        ):
+            chosen, rounds = maximal_matching_in_ec(g)
+            assert is_maximal_matching(g, chosen), repr(g)
+            assert rounds <= len(g.colors()) + 1
+
+    def test_loops_excluded(self):
+        g = random_loopy_tree(6, 2, seed=4)
+        chosen, _ = maximal_matching_in_ec(g)
+        assert all(not g.edge(eid).is_loop for eid in chosen)
+        assert is_maximal_matching(g, chosen)
+
+    def test_rounds_equal_palette(self):
+        g = cycle_graph(9)
+        _, rounds = maximal_matching_in_ec(g)
+        assert rounds == len(g.colors())
+
+    def test_edgeless_graph(self):
+        from repro.graphs.multigraph import ECGraph
+
+        g = ECGraph()
+        g.add_node(0)
+        chosen, rounds = maximal_matching_in_ec(g)
+        assert chosen == set() and rounds == 0

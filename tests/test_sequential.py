@@ -1,0 +1,76 @@
+"""Tests for centralised baselines (repro.matching.sequential)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.graphs.families import (
+    cycle_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_loopy_tree,
+    single_node_with_loops,
+    star_graph,
+)
+from repro.matching.sequential import (
+    greedy_maximal_fm,
+    greedy_maximal_matching,
+    matching_as_fm,
+)
+
+
+class TestGreedyFM:
+    def test_always_feasible_and_maximal(self):
+        for g in (
+            path_graph(6),
+            cycle_graph(7),
+            star_graph(4),
+            random_bounded_degree_graph(15, 4, seed=2),
+            random_loopy_tree(5, 2, seed=2),
+        ):
+            fm = greedy_maximal_fm(g)
+            assert fm.is_feasible()
+            assert fm.is_maximal()
+
+    def test_loop_takes_full_residual(self):
+        g = single_node_with_loops(2)
+        fm = greedy_maximal_fm(g)
+        assert fm.weight(0) == Fraction(1)
+        assert fm.weight(1) == Fraction(0)
+
+    def test_order_matters(self):
+        g = path_graph(3)
+        by_first = greedy_maximal_fm(g, order=[0, 1])
+        by_second = greedy_maximal_fm(g, order=[1, 0])
+        assert by_first.weight(0) == Fraction(1)
+        assert by_second.weight(1) == Fraction(1)
+
+    def test_saturates_loopy_graphs(self):
+        g = random_loopy_tree(6, 1, seed=9)
+        fm = greedy_maximal_fm(g)
+        assert fm.is_fully_saturated()
+
+
+class TestGreedyMatching:
+    def test_is_maximal_matching(self):
+        g = random_bounded_degree_graph(20, 5, seed=4)
+        chosen = greedy_maximal_matching(g)
+        matched = set()
+        for eid in chosen:
+            e = g.edge(eid)
+            assert e.u not in matched and e.v not in matched
+            matched |= {e.u, e.v}
+        for e in g.edges():
+            if not e.is_loop:
+                assert e.u in matched or e.v in matched
+
+    def test_ignores_loops(self):
+        g = single_node_with_loops(3)
+        assert greedy_maximal_matching(g) == set()
+
+    def test_matching_as_fm(self):
+        g = path_graph(4)
+        chosen = greedy_maximal_matching(g)
+        fm = matching_as_fm(g, chosen)
+        assert fm.is_feasible()
+        assert all(fm.weight(eid) == 1 for eid in chosen)

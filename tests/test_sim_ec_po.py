@@ -1,0 +1,102 @@
+"""Tests for the EC <= PO simulation (repro.core.sim_ec_po, Section 5.1)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.sim_ec_po import ECFromPO, ec_algorithm_from_po
+from repro.graphs.families import (
+    caterpillar,
+    cycle_graph,
+    random_loopy_tree,
+    single_node_with_loops,
+    star_graph,
+)
+from repro.local.algorithm import POWeightAlgorithm, SimulatedPOWeights
+from repro.matching.fm import fm_from_node_outputs
+from repro.matching.proposal import ProposalFM
+
+
+def proposal_po():
+    return SimulatedPOWeights(ProposalFM("PO"), name="proposal-po")
+
+
+class TestCorrectnessTransfer:
+    def test_maximal_fm_on_samples(self):
+        ec = ECFromPO(proposal_po())
+        for g in (
+            cycle_graph(6),
+            star_graph(4),
+            caterpillar(3, 2),
+            random_loopy_tree(4, 1, seed=0),
+            single_node_with_loops(3),
+        ):
+            fm = fm_from_node_outputs(g, ec.run_on(g))
+            assert fm.is_feasible(), repr(g)
+            assert fm.is_maximal(), repr(g)
+
+    def test_loopy_graphs_fully_saturated(self):
+        ec = ECFromPO(proposal_po())
+        g = random_loopy_tree(5, 2, seed=1)
+        fm = fm_from_node_outputs(g, ec.run_on(g))
+        assert fm.is_fully_saturated()
+
+
+class TestWeightMapping:
+    def test_edge_weight_is_sum_of_arc_weights(self):
+        """y_EC({u,v}) = y(u,v) + y(v,u) (Figure 8)."""
+        g = star_graph(1)
+
+        class FixedPO(POWeightAlgorithm):
+            name = "fixed"
+
+            def run_on(self, d):
+                return {
+                    0: {("out", 1): Fraction(1, 3), ("in", 1): Fraction(1, 4)},
+                    1: {("in", 1): Fraction(1, 3), ("out", 1): Fraction(1, 4)},
+                }
+
+        ec = ECFromPO(FixedPO())
+        out = ec.run_on(g)
+        assert out[0][1] == Fraction(7, 12)
+        assert out[1][1] == Fraction(7, 12)
+
+    def test_loop_weight_doubles(self):
+        """An EC loop's weight is twice its directed loop's arc weight: the
+        loop occupies both slots of its node."""
+        g = single_node_with_loops(1)
+
+        class FixedPO(POWeightAlgorithm):
+            name = "fixed-loop"
+
+            def run_on(self, d):
+                return {0: {("out", 1): Fraction(1, 2), ("in", 1): Fraction(1, 2)}}
+
+        out = ECFromPO(FixedPO()).run_on(g)
+        assert out[0][1] == Fraction(1)
+
+    def test_mismatched_loop_slots_rejected(self):
+        g = single_node_with_loops(1)
+
+        class BrokenPO(POWeightAlgorithm):
+            name = "broken"
+
+            def run_on(self, d):
+                return {0: {("out", 1): Fraction(1, 2), ("in", 1): Fraction(1, 3)}}
+
+        with pytest.raises(ValueError, match="single directed loop"):
+            ECFromPO(BrokenPO()).run_on(g)
+
+
+class TestBookkeeping:
+    def test_name_records_chain(self):
+        ec = ec_algorithm_from_po(proposal_po())
+        assert "ec<=po" in ec.name and "proposal-po" in ec.name
+
+    def test_rounds_forwarded(self):
+        ec = ECFromPO(proposal_po())
+        g = cycle_graph(6)
+        ec.run_on(g)
+        assert ec.rounds_used(g) is not None

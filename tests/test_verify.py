@@ -1,0 +1,89 @@
+"""Tests for local checkability (repro.matching.verify)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.graphs.families import (
+    cycle_graph,
+    path_graph,
+    random_loopy_tree,
+    single_node_with_loops,
+)
+from repro.matching.fm import fm_from_node_outputs
+from repro.matching.greedy_color import greedy_color_algorithm
+from repro.matching.verify import check_maximal_fm, verify_distributed
+
+F = Fraction
+
+
+def outputs_for(g, weights_by_eid):
+    """Helper: per-node colour-keyed outputs from per-edge weights."""
+    out = {}
+    for v in g.nodes():
+        out[v] = {
+            e.color: weights_by_eid.get(e.eid, F(0)) for e in g.incident_edges(v)
+        }
+    return out
+
+
+class TestDistributedChecker:
+    def test_accepts_valid_solution_in_one_round(self):
+        g = path_graph(5)
+        proposal = outputs_for(g, {e.eid: F(1, 2) for e in g.edges()})
+        ok, verdicts, rounds = verify_distributed(g, proposal)
+        assert ok
+        assert rounds == 1  # PO-checkability: a single round suffices
+        assert all(v.ok for v in verdicts.values())
+
+    def test_rejects_uncovered_edge_locally(self):
+        g = path_graph(3)
+        proposal = outputs_for(g, {0: F(1, 2)})
+        ok, verdicts, _ = verify_distributed(g, proposal)
+        assert not ok
+        # the endpoints of the uncovered edge both reject maximality
+        assert not verdicts[1].maximal or not verdicts[2].maximal
+
+    def test_rejects_overload(self):
+        g = cycle_graph(3)
+        proposal = outputs_for(g, {e.eid: F(3, 4) for e in g.edges()})
+        ok, verdicts, _ = verify_distributed(g, proposal)
+        assert not ok
+        assert any(not v.feasible for v in verdicts.values())
+
+    def test_rejects_endpoint_disagreement(self):
+        g = path_graph(2)
+        proposal = {0: {1: F(1, 2)}, 1: {1: F(1, 3)}}
+        ok, verdicts, _ = verify_distributed(g, proposal)
+        assert not ok
+
+    def test_loop_echo_checks_self_saturation(self):
+        """For a loop, the checker's exchanged flag is the node's own: the
+        loop edge is covered iff the node saturates itself (Figure 4 logic)."""
+        g = single_node_with_loops(2)
+        ok, _, _ = verify_distributed(g, {0: {1: F(1, 2), 2: F(1, 2)}})
+        assert ok
+        ok2, verdicts, _ = verify_distributed(g, {0: {1: F(1, 4), 2: F(1, 4)}})
+        assert not ok2
+        assert not verdicts[0].maximal
+
+    def test_accepts_real_algorithm_output(self):
+        g = random_loopy_tree(5, 1, seed=6)
+        alg = greedy_color_algorithm()
+        outputs = alg.run_on(g)
+        ok, _, rounds = verify_distributed(g, outputs)
+        assert ok and rounds == 1
+
+
+class TestCentralChecker:
+    def test_no_problems_on_valid(self):
+        g = path_graph(5)
+        fm = fm_from_node_outputs(g, outputs_for(g, {e.eid: F(1, 2) for e in g.edges()}))
+        assert check_maximal_fm(fm) == []
+
+    def test_reports_both_kinds(self):
+        g = path_graph(3)
+        fm = fm_from_node_outputs(g, outputs_for(g, {0: F(3, 2)}))
+        problems = check_maximal_fm(fm)
+        assert any("outside" in p for p in problems)
+        assert any("saturated" in p for p in problems)

@@ -1,0 +1,89 @@
+"""Tests for the vertex cover application (repro.matching.vertex_cover)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.families import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    star_graph,
+)
+from repro.matching.fm import FractionalMatching, fm_from_node_outputs
+from repro.matching.greedy_color import greedy_color_algorithm
+from repro.matching.proposal import proposal_algorithm
+from repro.matching.sequential import greedy_maximal_fm
+from repro.matching.vertex_cover import (
+    is_vertex_cover,
+    vertex_cover_from_fm,
+    vertex_cover_quality,
+)
+
+
+class TestExtraction:
+    def test_cover_is_valid_on_samples(self):
+        for g in (
+            path_graph(7),
+            cycle_graph(8),
+            star_graph(5),
+            complete_graph(5),
+            random_bounded_degree_graph(20, 4, seed=0),
+        ):
+            fm = greedy_maximal_fm(g)
+            cover = vertex_cover_from_fm(fm)
+            assert is_vertex_cover(g, cover), repr(g)
+
+    def test_non_maximal_rejected(self):
+        g = path_graph(4)
+        fm = FractionalMatching(g, {})
+        with pytest.raises(ValueError):
+            vertex_cover_from_fm(fm)
+
+    def test_star_cover_is_centre(self):
+        g = star_graph(5)
+        fm = greedy_maximal_fm(g)
+        cover = vertex_cover_from_fm(fm)
+        assert 0 in cover
+
+
+class TestTwoApproximation:
+    def test_ratio_at_most_two(self):
+        """|C(y)| <= 2 nu_f for every maximal FM — the [3] guarantee."""
+        for seed in range(5):
+            g = random_bounded_degree_graph(22, 5, seed=seed)
+            for alg in (greedy_color_algorithm(), proposal_algorithm()):
+                fm = fm_from_node_outputs(g, alg.run_on(g))
+                cover, ratio, lower = vertex_cover_quality(fm)
+                assert is_vertex_cover(g, cover)
+                assert ratio <= 2.0 + 1e-9
+
+    def test_lp_lower_bound_is_weak_duality(self):
+        g = cycle_graph(6)
+        fm = greedy_maximal_fm(g)
+        cover, ratio, lower = vertex_cover_quality(fm)
+        assert len(cover) >= lower - 1e-9
+
+    def test_empty_graph(self):
+        from repro.graphs.multigraph import ECGraph
+
+        g = ECGraph()
+        g.add_node(0)
+        fm = FractionalMatching(g, {})
+        cover, ratio, lower = vertex_cover_quality(fm)
+        assert cover == set() and lower == 0.0
+
+
+class TestValidator:
+    def test_rejects_non_cover(self):
+        g = path_graph(4)
+        assert not is_vertex_cover(g, {0})
+        assert is_vertex_cover(g, {1, 2})
+
+    def test_loops_need_their_node(self):
+        from repro.graphs.families import single_node_with_loops
+
+        g = single_node_with_loops(2)
+        assert not is_vertex_cover(g, set())
+        assert is_vertex_cover(g, {0})

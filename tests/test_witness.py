@@ -1,0 +1,105 @@
+"""Tests for witness datatypes (repro.core.witness)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.witness import AlgorithmFailure, LowerBoundWitness, StepWitness
+from repro.graphs.families import single_node_with_loops
+
+F = Fraction
+
+
+def make_step(index=0, iso=True, trees=True, wg=F(0), wh=F(1)):
+    g = single_node_with_loops(3)
+    return StepWitness(
+        index=index,
+        graph_g=g,
+        graph_h=g.copy(),
+        node_g=0,
+        node_h=0,
+        color=1,
+        weight_g=wg,
+        weight_h=wh,
+        balls_isomorphic=iso,
+        loop_budget=3,
+        trees=trees,
+        side="base",
+    )
+
+
+class TestStepWitness:
+    def test_valid_when_all_checks_pass(self):
+        assert make_step().valid
+
+    def test_invalid_without_isomorphism(self):
+        assert not make_step(iso=False).valid
+
+    def test_invalid_without_trees(self):
+        assert not make_step(trees=False).valid
+
+    def test_invalid_with_equal_weights(self):
+        assert not make_step(wg=F(1, 2), wh=F(1, 2)).valid
+
+
+class TestLowerBoundWitness:
+    def test_achieved_depth_empty(self):
+        w = LowerBoundWitness(algorithm="x", delta=5)
+        assert w.achieved_depth == -1
+        assert w.all_valid  # vacuously
+
+    def test_achieved_depth_max_valid(self):
+        w = LowerBoundWitness(algorithm="x", delta=5)
+        w.steps = [make_step(0), make_step(1), make_step(2, iso=False)]
+        assert w.achieved_depth == 1
+        assert not w.all_valid
+
+    def test_conclusion_text(self):
+        w = LowerBoundWitness(algorithm="greedy", delta=4)
+        w.steps = [make_step(0), make_step(1), make_step(2)]
+        text = w.conclusion()
+        assert "greedy" in text and "> 2 rounds" in text
+
+
+class TestAlgorithmFailure:
+    def test_carries_certificate(self):
+        g = single_node_with_loops(2)
+        err = AlgorithmFailure("boom", graph=g, detail=(1, 2))
+        assert err.graph is g and err.detail == (1, 2)
+        assert "boom" in str(err)
+
+
+class TestReverify:
+    def test_sound_witness_passes(self):
+        from repro.core.adversary import run_adversary
+        from repro.core.witness import reverify_step
+        from repro.matching.greedy_color import greedy_color_algorithm
+
+        witness = run_adversary(greedy_color_algorithm(), 5)
+        for step in witness.steps:
+            assert reverify_step(step, witness.delta) == []
+
+    def test_tampered_witness_caught(self):
+        from repro.core.adversary import run_adversary
+        from repro.core.witness import reverify_step
+        from repro.matching.greedy_color import greedy_color_algorithm
+
+        witness = run_adversary(greedy_color_algorithm(), 4)
+        step = witness.steps[-1]
+        # tamper: claim equal weights
+        step.weight_h = step.weight_g
+        problems = reverify_step(step, witness.delta)
+        assert any("weights do not differ" in p for p in problems)
+
+    def test_structurally_broken_witness_caught(self):
+        from repro.core.witness import reverify_step
+
+        step = make_step()  # single-node graphs; colour 1 IS a loop
+        step_problems = reverify_step(step, delta=3)
+        assert step_problems == []
+        # now break the tree property by adding a cycle to graph_g
+        step.graph_g.add_edge("x", "y", 7)
+        step.graph_g.add_edge("y", "z", 8)
+        step.graph_g.add_edge("x", "z", 9)
+        problems = reverify_step(step, delta=3)
+        assert any("(P3)" in p for p in problems)
