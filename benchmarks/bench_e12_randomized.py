@@ -44,7 +44,7 @@ def test_failure_rate_vs_bits(benchmark, record, bits):
     record(
         "E12 randomised FM: failure probability vs randomness width",
         bits=bits,
-        failure_rate=round(rate, 3),
+        failure_rate=round(float(rate), 3),
     )
 
 

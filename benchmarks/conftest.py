@@ -10,12 +10,36 @@ mirrors these tables.
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
+from pathlib import Path
 from typing import Dict, List
 
 import pytest
 
 _ROWS: Dict[str, List[dict]] = defaultdict(list)
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def pytest_report_header(config):
+    """Record whether the tree was model-contract clean for this bench run.
+
+    Every recorded experiment series should be attributable to a tree that
+    honours the model contracts; this is ``repro lint --json`` inlined into
+    the session header.
+    """
+    try:
+        from repro.lint import lint_paths, summarize
+
+        summary = summarize(lint_paths([_SRC]))
+        status = "contract-clean" if summary["clean"] else "CONTRACT VIOLATIONS"
+        payload = json.dumps(
+            {k: summary[k] for k in ("clean", "total", "by_rule")}, sort_keys=True
+        )
+        return [f"repro lint: {status} — {payload}"]
+    except Exception as exc:  # never block a bench run on the linter
+        return [f"repro lint: unavailable ({exc})"]
 
 
 @pytest.fixture
@@ -33,6 +57,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         return
     tr = terminalreporter
     tr.section("reproduction experiment results")
+    for line in pytest_report_header(config):
+        tr.write_line(line)
     for experiment in sorted(_ROWS):
         rows = _ROWS[experiment]
         columns = list(dict.fromkeys(k for row in rows for k in row))

@@ -36,7 +36,7 @@ def failure_by_bits() -> None:
     print(f"{'bits':>5} {'failure rate':>13}")
     for bits in (1, 2, 4, 8, 16):
         rate = failure_rate(g, rng, bits=bits, samples=60)
-        print(f"{bits:>5} {rate:>13.3f}")
+        print(f"{bits:>5} {float(rate):>13.3f}")
     print()
 
 
@@ -54,7 +54,7 @@ def amplification() -> None:
     print(f"{'components':>11} {'empirical':>10}")
     for q in (1, 2, 4, 8):
         rate = failure_amplification(correct, bad, rng, components=q, samples=200)
-        print(f"{q:>11} {rate:>10.3f}")
+        print(f"{q:>11} {float(rate):>10.3f}")
     print()
 
 

@@ -13,7 +13,10 @@ The package turns the paper's lower-bound proof into running code:
   substrates for the classical baselines;
 * :mod:`repro.core` — the unfold-and-mix adversary (Section 4), the
   EC <= PO <= OI <= ID simulation chain (Section 5), the homogeneous tree
-  order (Appendix A) and derandomisation (Appendix B).
+  order (Appendix A) and derandomisation (Appendix B);
+* :mod:`repro.lint` — the model-contract static analyzer (locality,
+  determinism, exact arithmetic, frozen views), paired with the runtime
+  locality sanitizer in :mod:`repro.local.sanitize`.
 
 Quickstart::
 
@@ -30,7 +33,7 @@ Quickstart::
     assert witness.achieved_depth == 3      # = Delta - 2
 """
 
-from . import analysis, coloring, core, graphs, local, matching, problems
+from . import analysis, coloring, core, graphs, lint, local, matching, problems
 
 __version__ = "1.0.0"
 
@@ -39,6 +42,7 @@ __all__ = [
     "coloring",
     "core",
     "graphs",
+    "lint",
     "local",
     "matching",
     "problems",

@@ -10,13 +10,16 @@ Subcommands (``python -m repro <subcommand> --help`` for details):
                   degree-Delta graphs";
 * ``cover``     — extract the 2-approximate vertex cover from a maximal FM;
 * ``order``     — print a ball of the 2d-regular PO-tree sorted by the
-                  Appendix A homogeneous order.
+                  Appendix A homogeneous order;
+* ``lint``      — run the model-contract static analyzer (``repro.lint``)
+                  over source trees, or demo the runtime locality sanitizer.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .core.adversary import run_adversary
@@ -115,6 +118,25 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--delta", type=int, default=3)
     ex.add_argument("--grid-denominator", type=int, default=6)
 
+    lint = sub.add_parser(
+        "lint",
+        help="model-contract static analysis (locality, determinism, "
+        "exact arithmetic, frozen views)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable report")
+    lint.add_argument(
+        "--sanitize-demo",
+        action="store_true",
+        help="run the runtime locality sanitizer against a cheating and an "
+        "honest EC algorithm instead of linting",
+    )
+
     return parser
 
 
@@ -194,6 +216,53 @@ def _cmd_exhaustive(args) -> int:
     return 2
 
 
+def _sanitize_demo() -> int:
+    """Show the locality sanitizer catching a cheat and passing an honest run."""
+    from .graphs.families import path_graph
+    from .local.context import NodeContext
+    from .local.runtime import ECNetwork, run
+    from .local.sanitize import LocalityViolation
+    from .matching.proposal import ProposalFM
+
+    class CheatingFM(ProposalFM):
+        """Proposal dynamics, except it peeks at the node label."""
+
+        def initial_state(self, ctx: NodeContext):
+            state = super().initial_state(ctx)
+            state["who_am_i"] = ctx.node  # the out-of-model read  # repro: noqa[locality]
+            return state
+
+    g = path_graph(5)
+    try:
+        run(ECNetwork(g), CheatingFM("EC"), sanitize=True)
+    except LocalityViolation as violation:
+        print(f"cheating algorithm caught: {violation}")
+        caught = True
+    else:
+        print("ERROR: the cheating algorithm was not caught")
+        caught = False
+
+    result = run(ECNetwork(g), ProposalFM("EC"), sanitize=True)
+    log = result.access_log
+    reads = ", ".join(f"{attr}={n}" for attr, n in sorted(log.reads.items()))
+    print(f"honest algorithm clean: {log.clean} (model {log.model}; reads: {reads})")
+    return 0 if caught and log.clean else 1
+
+
+def _cmd_lint(args) -> int:
+    from .lint import lint_paths, render_json, render_text
+
+    if args.sanitize_demo:
+        return _sanitize_demo()
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths)
+    print(render_json(findings) if args.json else render_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_order(args) -> int:
     steps = [(c, s) for c in range(1, args.generators + 1) for s in (+1, -1)]
     words = {()}
@@ -228,6 +297,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cover": _cmd_cover,
         "order": _cmd_order,
         "exhaustive": _cmd_exhaustive,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

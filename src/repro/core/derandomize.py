@@ -21,6 +21,7 @@ This module makes both halves executable for finite universes:
 from __future__ import annotations
 
 import random
+from fractions import Fraction
 from itertools import combinations
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
@@ -90,7 +91,7 @@ def failure_amplification(
     rng: random.Random,
     components: int,
     samples: int = 200,
-) -> float:
+) -> Fraction:
     """Estimate the failure probability on ``components`` disjoint copies.
 
     If the algorithm fails on ``bad_graph`` with probability ``p`` under
@@ -112,4 +113,4 @@ def failure_amplification(
                 failed = True
                 break
         failures += failed
-    return failures / samples
+    return Fraction(failures, samples)

@@ -1,0 +1,56 @@
+"""Model-contract static analysis for the reproduction (``repro.lint``).
+
+The repository's correctness story is "everything verified, nothing
+trusted" (DESIGN.md): adversary invariants, covering maps and FM maximality
+are machine-checked.  The *model contracts* the algorithms live under —
+anonymity, determinism, exact arithmetic, frozen views — were previously
+policed only dynamically, when a test happened to exercise the right lift.
+This package turns them into an AST-level static pass:
+
+* ``locality``        — EC/PO/OI algorithm classes must not read
+                        ``ctx.node`` / ``ctx.identifier`` or reach into the
+                        runtime/graph machinery from node-local code;
+* ``determinism``     — no ambient randomness (global ``random.*``,
+                        ``numpy.random``, ``time``, ``os.urandom``,
+                        ``secrets``) outside explicitly randomized modules;
+* ``exact-arith``     — no float literals, ``float()`` coercions or true
+                        division in the exact-arithmetic core
+                        (``repro.matching`` / ``repro.core`` minus the
+                        explicitly-floating LP module);
+* ``frozen-mutation`` — no in-place mutation of :class:`NodeContext`,
+                        view trees or neighbourhood balls.
+
+Findings are suppressed per line with ``# repro: noqa[rule-id]`` (bare
+``# repro: noqa`` silences every rule on the line); a module opts into
+randomness with a ``# repro: randomized`` marker line.  See
+``docs/static_analysis.md`` for rule-by-rule justification and the runtime
+counterpart, the locality sanitizer in :mod:`repro.local.sanitize`.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    DEFAULT_CONFIG,
+    Finding,
+    LintConfig,
+    ModuleUnderLint,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
+from .reporters import render_json, render_text, summarize
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "ModuleUnderLint",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "render_json",
+    "render_text",
+    "summarize",
+]

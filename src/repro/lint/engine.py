@@ -1,0 +1,230 @@
+"""Rule engine: parse modules, run rules, honour suppressions.
+
+The engine is deliberately small: a *rule* is a function
+``check(module) -> Iterator[Finding]`` registered in
+:data:`repro.lint.rules.ALL_RULES`; the engine parses each file once into a
+:class:`ModuleUnderLint` (path, dotted module name, source lines, AST,
+config), feeds it to every selected rule, and drops findings whose physical
+line carries a matching ``# repro: noqa[rule-id]`` comment.
+
+Suppression syntax (checked on the line the finding points at):
+
+* ``# repro: noqa[exact-arith]``          — silence one rule;
+* ``# repro: noqa[locality, exact-arith]`` — silence several;
+* ``# repro: noqa``                        — silence every rule.
+
+A module-level ``# repro: randomized`` marker line declares the whole
+module randomized (equivalent to listing it in
+:attr:`LintConfig.randomized_modules`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleUnderLint",
+    "DEFAULT_CONFIG",
+    "lint_source",
+    "lint_paths",
+    "module_name_for",
+]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([a-zA-Z0-9_\-,\s]+)\])?")
+_RANDOMIZED_MARKER_RE = re.compile(r"^\s*#\s*repro:\s*randomized\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: [rule] message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What the rules treat as in/out of scope.
+
+    Attributes
+    ----------
+    randomized_modules:
+        Dotted module names explicitly declared randomized; the
+        ``determinism`` rule skips them entirely.
+    exact_scopes:
+        Dotted prefixes inside which ``exact-arith`` applies.
+    exact_exempt:
+        Modules inside an exact scope that are explicitly floating
+        (the LP baseline interfaces with scipy and speaks float natively).
+    """
+
+    randomized_modules: frozenset = frozenset(
+        {
+            "repro.local.randomized",
+            "repro.matching.random_priority",
+            "repro.matching.integral",
+        }
+    )
+    exact_scopes: Tuple[str, ...] = ("repro.matching", "repro.core")
+    exact_exempt: frozenset = frozenset({"repro.matching.lp", "repro.analysis"})
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+@dataclass
+class ModuleUnderLint:
+    """Everything a rule needs to inspect one module."""
+
+    path: str
+    module: str
+    source: str
+    lines: List[str]
+    tree: ast.AST
+    config: LintConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+
+    @property
+    def declared_randomized(self) -> bool:
+        """Whether the module may use randomness (config list or marker)."""
+        if self.module in self.config.randomized_modules:
+            return True
+        return any(_RANDOMIZED_MARKER_RE.match(line) for line in self.lines)
+
+    @property
+    def in_exact_scope(self) -> bool:
+        """Whether the ``exact-arith`` rule applies to this module."""
+        if self.module in self.config.exact_exempt:
+            return False
+        return any(
+            self.module == scope or self.module.startswith(scope + ".")
+            for scope in self.config.exact_scopes
+        )
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """A finding anchored at ``node``'s source position."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of ``path``, walking up through packages.
+
+    Climbs parent directories for as long as they contain an
+    ``__init__.py``; a file outside any package is just its stem.
+    """
+    path = Path(path)
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    """Whether the finding's physical line carries a matching noqa."""
+    if not (1 <= finding.line <= len(lines)):
+        return False
+    match = _NOQA_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    listed = match.group(1)
+    if listed is None:  # bare ``# repro: noqa`` silences everything
+        return True
+    rules = {item.strip() for item in listed.split(",")}
+    return finding.rule in rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source text; returns the unsuppressed findings, sorted.
+
+    ``module`` is the dotted module name used for scope decisions (rules
+    like ``exact-arith`` are scoped by package) — pass e.g.
+    ``"repro.matching.fixture"`` to lint a snippet *as if* it lived there.
+    """
+    from .rules import ALL_RULES
+
+    config = config or DEFAULT_CONFIG
+    module = module if module is not None else Path(path).stem
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="syntax",
+                message=f"could not parse: {exc.msg}",
+            )
+        ]
+    mod = ModuleUnderLint(
+        path=path, module=module, source=source, lines=lines, tree=tree, config=config
+    )
+    wanted = set(select) if select is not None else set(ALL_RULES)
+    findings: List[Finding] = []
+    for rule_id, check in ALL_RULES.items():
+        if rule_id not in wanted:
+            continue
+        for finding in check(mod):
+            if not _suppressed(finding, lines):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def _iter_py_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        path = Path(path)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part.startswith(".") or part == "__pycache__" for part in sub.parts):
+                    continue
+                yield sub
+
+
+def lint_paths(
+    paths: Iterable,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file in _iter_py_files(Path(p) for p in paths):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source,
+                path=str(file),
+                module=module_name_for(file),
+                config=config,
+                select=select,
+            )
+        )
+    return sorted(findings)

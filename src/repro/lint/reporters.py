@@ -1,0 +1,48 @@
+"""Render lint findings for terminals, CI and machine consumers."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from .engine import Finding
+
+__all__ = ["render_text", "render_json", "summarize"]
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, object]:
+    """A JSON-ready summary: clean flag, totals, per-rule counts, findings."""
+    per_rule = Counter(f.rule for f in findings)
+    return {
+        "clean": not findings,
+        "total": len(findings),
+        "by_rule": dict(sorted(per_rule.items())),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: [rule] message`` line per finding plus a tally."""
+    lines: List[str] = [f.render() for f in findings]
+    if findings:
+        per_rule = Counter(f.rule for f in findings)
+        tally = ", ".join(f"{rule}: {n}" for rule, n in sorted(per_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({tally})")
+    else:
+        lines.append("model contracts: clean (0 findings)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], indent: int = 2) -> str:
+    """The :func:`summarize` dict as JSON text."""
+    return json.dumps(summarize(findings), indent=indent)

@@ -1,0 +1,18 @@
+"""Rule registry: rule id -> ``check(module) -> Iterator[Finding]``.
+
+Each rule lives in its own module and enforces one model contract; see
+``docs/static_analysis.md`` for the paper/DESIGN justification of each.
+"""
+
+from __future__ import annotations
+
+from . import determinism, exact_arith, locality, mutation
+
+ALL_RULES = {
+    locality.RULE_ID: locality.check,
+    determinism.RULE_ID: determinism.check,
+    exact_arith.RULE_ID: exact_arith.check,
+    mutation.RULE_ID: mutation.check,
+}
+
+__all__ = ["ALL_RULES"]

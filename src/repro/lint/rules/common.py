@@ -1,0 +1,100 @@
+"""Shared AST helpers for the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+__all__ = [
+    "attribute_chain",
+    "root_name",
+    "ctx_param_names",
+    "iter_class_functions",
+    "class_level_model",
+    "base_names",
+]
+
+
+def attribute_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute chain rooted at a Name, else ``None``.
+
+    ``random.Random`` -> ``"random.Random"``; ``a.b().c`` -> ``None`` (the
+    chain is broken by a call, so it is not a plain module reference).
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The Name at the root of an attribute/subscript chain, else ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def ctx_param_names(func: ast.AST) -> Set[str]:
+    """Parameter names of ``func`` that carry a node context.
+
+    A parameter counts if it is literally named ``ctx`` or is annotated
+    ``NodeContext`` (possibly qualified, e.g. ``context.NodeContext``).
+    """
+    names: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is None:
+        return names
+    all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    for arg in all_args:
+        if arg.arg == "ctx":
+            names.add(arg.arg)
+            continue
+        annotation = arg.annotation
+        dotted = attribute_chain(annotation) if annotation is not None else None
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            dotted = annotation.value  # string annotation
+        if dotted and dotted.split(".")[-1] == "NodeContext":
+            names.add(arg.arg)
+    return names
+
+
+def iter_class_functions(cls: ast.ClassDef) -> Iterator[ast.AST]:
+    """All function defs lexically inside ``cls`` (methods and helpers)."""
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def class_level_model(cls: ast.ClassDef) -> Optional[str]:
+    """The value of a class-body ``model = "..."`` assignment, if any."""
+    for stmt in cls.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "model":
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    return value.value
+    return None
+
+
+def base_names(cls: ast.ClassDef) -> Set[str]:
+    """Unqualified names of the class's bases."""
+    names: Set[str] = set()
+    for base in cls.bases:
+        dotted = attribute_chain(base)
+        if dotted:
+            names.add(dotted.split(".")[-1])
+    return names

@@ -1,0 +1,116 @@
+"""``determinism`` — no ambient randomness outside declared modules.
+
+The lower-bound machinery quantifies over *deterministic* algorithms; the
+randomized story (paper, Appendix B) is reproduced by making randomness an
+explicit input — a tape injected through the network globals, or an
+``rng: random.Random`` parameter seeded by the caller.  Hidden entropy
+(the global ``random`` state, ``numpy.random``, wall-clock time,
+``os.urandom``, ``secrets``) would make runs unreproducible and would let
+an "anonymous" algorithm break symmetry invisibly.
+
+Allowed everywhere: constructing a *seeded* ``random.Random(seed)`` and
+passing it around, and annotations mentioning ``random.Random``.  Flagged
+outside modules declared randomized (config list or a ``# repro:
+randomized`` marker line): any other attribute of the ``random`` module
+(the ambient global generator), unseeded ``random.Random()``,
+``random.SystemRandom``, any use of ``numpy.random`` / ``time`` /
+``secrets``, and ``os.urandom``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from ..engine import Finding, ModuleUnderLint
+
+RULE_ID = "determinism"
+
+#: attributes of ``random`` that are fine to reference: the injectable
+#: generator class itself.
+_RANDOM_OK_ATTRS = {"Random"}
+_FORBIDDEN_FROM_IMPORTS = {
+    "random": lambda name: name not in _RANDOM_OK_ATTRS,
+    "numpy.random": lambda name: True,
+    "numpy": lambda name: name == "random",
+    "time": lambda name: True,
+    "secrets": lambda name: True,
+    "os": lambda name: name == "urandom",
+}
+
+
+def _alias_map(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> canonical module for every ``import x [as y]``."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                aliases[local] = alias.name if alias.asname else alias.name.split(".")[0]
+    return aliases
+
+
+def check(mod: ModuleUnderLint) -> Iterator[Finding]:
+    """Flag ambient-randomness use in modules not declared randomized."""
+    if mod.declared_randomized:
+        return
+    aliases = _alias_map(mod.tree)
+
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            verdict = _FORBIDDEN_FROM_IMPORTS.get(module)
+            if verdict is None:
+                continue
+            for alias in node.names:
+                if verdict(alias.name):
+                    yield mod.finding(
+                        node,
+                        RULE_ID,
+                        f"'from {module} import {alias.name}' injects ambient "
+                        f"entropy; pass a seeded random.Random (or declare the "
+                        f"module '# repro: randomized')",
+                    )
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            canonical = aliases.get(node.value.id)
+            if canonical is None:
+                continue
+            if canonical == "random" and node.attr not in _RANDOM_OK_ATTRS:
+                yield mod.finding(
+                    node,
+                    RULE_ID,
+                    f"ambient randomness 'random.{node.attr}' (global generator); "
+                    f"use an injected seeded random.Random",
+                )
+            elif canonical in ("numpy", "numpy.random") and (
+                canonical == "numpy.random" or node.attr == "random"
+            ):
+                yield mod.finding(
+                    node, RULE_ID, "numpy.random is ambient entropy; use a seeded generator"
+                )
+            elif canonical == "time":
+                yield mod.finding(
+                    node,
+                    RULE_ID,
+                    f"'time.{node.attr}' makes runs time-dependent; results must "
+                    f"be a function of the input alone",
+                )
+            elif canonical == "secrets":
+                yield mod.finding(node, RULE_ID, "'secrets' draws OS entropy; not reproducible")
+            elif canonical == "os" and node.attr == "urandom":
+                yield mod.finding(node, RULE_ID, "os.urandom draws OS entropy; not reproducible")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and aliases.get(func.value.id) == "random"
+                and func.attr == "Random"
+                and not node.args
+                and not node.keywords
+            ):
+                yield mod.finding(
+                    node,
+                    RULE_ID,
+                    "unseeded random.Random() is OS-seeded; pass an explicit seed",
+                )

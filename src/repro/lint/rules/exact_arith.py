@@ -1,0 +1,59 @@
+"""``exact-arith`` — the FM core computes with exact rationals only.
+
+Every weight the paper's machinery handles is an exact ``Fraction``:
+feasibility (``load <= 1``), maximality (saturation ``== 1``) and the
+adversary's weight-difference witnesses are *equalities*, and a single
+rounded float would turn a machine-checked proof step into a
+floating-point coin toss.  Inside the exact scope (``repro.matching`` and
+``repro.core``, minus the explicitly-floating LP baseline ``matching/lp.py``
+and the reporting layer ``repro/analysis.py``) this rule flags:
+
+* float (and complex) literals;
+* ``float(...)`` coercions;
+* true division ``/`` — division is only exact when both operands are
+  already ``Fraction``s, which a reader cannot check locally; write
+  ``Fraction(a, b)`` instead, or justify the ``/`` with
+  ``# repro: noqa[exact-arith]`` stating why the operands are exact
+  (``//`` on integers is untouched).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleUnderLint
+
+RULE_ID = "exact-arith"
+
+
+def check(mod: ModuleUnderLint) -> Iterator[Finding]:
+    """Flag float literals, ``float()`` calls and ``/`` in the exact scope."""
+    if not mod.in_exact_scope:
+        return
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, (float, complex)):
+            yield mod.finding(
+                node,
+                RULE_ID,
+                f"float literal {node.value!r} in the exact-arithmetic core; "
+                f"use Fraction (or noqa with justification)",
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        ):
+            yield mod.finding(
+                node,
+                RULE_ID,
+                "float(...) coercion in the exact-arithmetic core; weights and "
+                "loads must stay Fraction",
+            )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            yield mod.finding(
+                node,
+                RULE_ID,
+                "true division '/' is exact only on Fractions; write "
+                "Fraction(a, b) or justify with noqa",
+            )

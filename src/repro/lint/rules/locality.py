@@ -1,0 +1,98 @@
+"""``locality`` — anonymity of EC/PO/OI node algorithms.
+
+The paper's lower bound lives in anonymous models: an EC/PO/OI algorithm's
+output must be a function of the node's *view* only (paper Eq. (1); lift
+invariance, condition (2)).  ``NodeContext.node`` is bookkeeping and
+``NodeContext.identifier`` only exists in the ID model, so node-local code
+of an algorithm declared for an anonymous model must not read either — and
+must not smuggle in non-local information by reaching into the simulator
+runtime or the global graph from inside a node-local method.
+
+What counts as an *algorithm class*: a class subclassing
+``DistributedAlgorithm``, or one declaring a class-level ``model`` while
+defining node-local methods (``initial_state`` / ``send`` / ``receive`` /
+``output``).  Classes declared ``model = "ID"`` are exempt (identifiers are
+the model there).  The one sanctioned ``ctx.node`` read — private coins via
+:func:`repro.local.randomized.my_coins` — lives in a module this rule does
+not see an algorithm class in; algorithms calling it must still declare
+``sanitizer_allow`` for the runtime sanitizer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleUnderLint
+from .common import base_names, class_level_model, ctx_param_names, iter_class_functions
+
+RULE_ID = "locality"
+
+_ANONYMOUS_MODELS = {"EC", "PO", "OI"}
+_FORBIDDEN_CTX_ATTRS = {"node", "identifier"}
+_ALGO_BASES = {"DistributedAlgorithm"}
+_NODE_LOCAL_METHODS = {"initial_state", "send", "receive", "output", "snapshot"}
+_MACHINERY_MODULES = {"runtime", "graphs", "networkx", "nx"}
+
+
+def _is_anonymous_algorithm_class(cls: ast.ClassDef) -> bool:
+    model = class_level_model(cls)
+    if model is not None and model not in _ANONYMOUS_MODELS:
+        return False  # explicitly ID (or exotic): identifiers are legal there
+    if base_names(cls) & _ALGO_BASES:
+        return True
+    if model in _ANONYMOUS_MODELS:
+        defined = {
+            node.name for node in cls.body if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        return bool(defined & _NODE_LOCAL_METHODS)
+    return False
+
+
+def _machinery_import(node: ast.AST) -> bool:
+    if isinstance(node, ast.Import):
+        return any(alias.name.split(".")[0] in _MACHINERY_MODULES for alias in node.names)
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        parts = set(module.split("."))
+        return bool(parts & _MACHINERY_MODULES)
+    return False
+
+
+def check(mod: ModuleUnderLint) -> Iterator[Finding]:
+    """Flag identity reads and runtime/graph reach-ins in anonymous algorithms."""
+    for cls in ast.walk(mod.tree):
+        if not isinstance(cls, ast.ClassDef) or not _is_anonymous_algorithm_class(cls):
+            continue
+        for func in iter_class_functions(cls):
+            ctx_names = ctx_param_names(func)
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.attr in _FORBIDDEN_CTX_ATTRS
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in ctx_names
+                ):
+                    yield mod.finding(
+                        node,
+                        RULE_ID,
+                        f"anonymous-model algorithm {cls.name!r} reads "
+                        f"ctx.{node.attr}; EC/PO/OI outputs must depend on the "
+                        f"view only (declare model = \"ID\" or justify with noqa)",
+                    )
+                elif isinstance(node, ast.Global):
+                    yield mod.finding(
+                        node,
+                        RULE_ID,
+                        f"algorithm {cls.name!r} declares global state inside "
+                        f"node-local code; nodes may not share hidden state",
+                    )
+                elif isinstance(node, (ast.Import, ast.ImportFrom)) and _machinery_import(node):
+                    yield mod.finding(
+                        node,
+                        RULE_ID,
+                        f"algorithm {cls.name!r} imports runtime/graph machinery "
+                        f"inside a method; node-local code must not inspect the "
+                        f"global graph or the simulator",
+                    )

@@ -17,6 +17,7 @@ from .identifiers import (
 )
 from .runtime import ECNetwork, IDNetwork, Network, PONetwork, RunResult, run, run_rounds
 from .randomized import RandomTape, my_coins, tape_globals, uniform_tape
+from .sanitize import AccessLog, LocalityViolation, SanitizedContext, wrap_contexts
 from .views import FullInformationEC, ec_view_tree
 
 __all__ = [
@@ -42,6 +43,10 @@ __all__ = [
     "my_coins",
     "tape_globals",
     "uniform_tape",
+    "AccessLog",
+    "LocalityViolation",
+    "SanitizedContext",
+    "wrap_contexts",
     "FullInformationEC",
     "ec_view_tree",
 ]

@@ -10,7 +10,8 @@ global bounds such as the maximum degree ``Delta`` or the palette size).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Tuple
+from types import MappingProxyType
+from typing import Any, Hashable, Mapping, Optional, Tuple
 
 Node = Hashable
 Port = Hashable
@@ -38,14 +39,22 @@ class NodeContext:
     identifier:
         The node's unique identifier (ID model only, else ``None``).
     globals:
-        Read-only globally known parameters, e.g. ``{"delta": 5}``.
+        Read-only globally known parameters, e.g. ``{"delta": 5}``.  Stored
+        as a :class:`types.MappingProxyType` over a private copy, so the
+        "read-only" in the contract is enforced, not advisory: neither the
+        algorithm nor later mutation of the caller's dict can change what a
+        node sees.
     """
 
     node: Node
     model: str
     ports: Tuple[Port, ...]
     identifier: Optional[int] = None
-    globals: Dict[str, Any] = field(default_factory=dict)
+    globals: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.globals, MappingProxyType):
+            object.__setattr__(self, "globals", MappingProxyType(dict(self.globals)))
 
     @property
     def degree(self) -> int:

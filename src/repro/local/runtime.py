@@ -24,9 +24,12 @@ Three network adapters realise the models:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sanitize import AccessLog
 
 from ..graphs.digraph import POGraph
 from ..graphs.multigraph import ECGraph
@@ -182,12 +185,32 @@ class RunResult:
     halted: bool
     states: Dict[Node, Any] = field(default_factory=dict)
     message_counts: List[int] = field(default_factory=list)
+    #: access log of a sanitized run (``None`` unless ``sanitize=True``)
+    access_log: Optional["AccessLog"] = None
+
+
+def _contexts_for(
+    network: Network,
+    algorithm: DistributedAlgorithm,
+    nodes: List[Node],
+    sanitize: bool,
+    sanitize_mode: str,
+):
+    """Context table for a run, optionally wrapped in the locality sanitizer."""
+    ctxs = {v: network.context(v) for v in nodes}
+    if not sanitize:
+        return ctxs, None
+    from .sanitize import wrap_contexts
+
+    return wrap_contexts(ctxs, network.model, algorithm, mode=sanitize_mode)
 
 
 def run(
     network: Network,
     algorithm: DistributedAlgorithm,
     max_rounds: int = 10_000,
+    sanitize: bool = False,
+    sanitize_mode: str = "raise",
 ) -> RunResult:
     """Execute ``algorithm`` on ``network`` until all nodes output or the cap.
 
@@ -195,13 +218,18 @@ def run(
     immediately with only its context) and after every round.  The returned
     ``rounds`` is the number of communication rounds actually performed —
     the quantity the paper's lower bound is about.
+
+    With ``sanitize=True`` every context is wrapped in the locality
+    sanitizer (:mod:`repro.local.sanitize`): out-of-model reads raise a
+    ``LocalityViolation`` (or are recorded when ``sanitize_mode="log"``)
+    and the returned result carries the full ``access_log``.
     """
     if algorithm.model != network.model:
         raise ValueError(
             f"algorithm model {algorithm.model!r} does not match network model {network.model!r}"
         )
     nodes = network.nodes()
-    ctxs = {v: network.context(v) for v in nodes}
+    ctxs, access_log = _contexts_for(network, algorithm, nodes, sanitize, sanitize_mode)
     states = {v: algorithm.initial_state(ctxs[v]) for v in nodes}
     message_counts: List[int] = []
 
@@ -232,6 +260,7 @@ def run(
         halted=halted,
         states=states,
         message_counts=message_counts,
+        access_log=access_log,
     )
 
 
@@ -239,6 +268,8 @@ def run_rounds(
     network: Network,
     algorithm: DistributedAlgorithm,
     rounds: int,
+    sanitize: bool = False,
+    sanitize_mode: str = "raise",
 ) -> RunResult:
     """Execute exactly ``rounds`` communication rounds (or fewer if all halt).
 
@@ -254,7 +285,7 @@ def run_rounds(
             f"algorithm model {algorithm.model!r} does not match network model {network.model!r}"
         )
     nodes = network.nodes()
-    ctxs = {v: network.context(v) for v in nodes}
+    ctxs, access_log = _contexts_for(network, algorithm, nodes, sanitize, sanitize_mode)
     states = {v: algorithm.initial_state(ctxs[v]) for v in nodes}
     executed = 0
     for _ in range(rounds):
@@ -275,4 +306,6 @@ def run_rounds(
             out = algorithm.snapshot(states[v], ctxs[v])
         outputs[v] = out
     halted = all(o is not None for o in outputs.values())
-    return RunResult(outputs=outputs, rounds=executed, halted=halted, states=states)
+    return RunResult(
+        outputs=outputs, rounds=executed, halted=halted, states=states, access_log=access_log
+    )

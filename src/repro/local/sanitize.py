@@ -1,0 +1,174 @@
+"""Runtime locality sanitizer: the simulator polices the model contract.
+
+The static pass in :mod:`repro.lint` catches what is visible in the AST;
+this module catches the rest at run time.  When a simulator run is started
+with ``sanitize=True`` every :class:`~repro.local.context.NodeContext` is
+wrapped in a :class:`SanitizedContext` proxy that records *every attribute
+read* a node algorithm performs and raises (or, in ``"log"`` mode, records)
+a :class:`LocalityViolation` whenever the read is outside what the node's
+model permits:
+
+===== ==========================================
+model attributes a node may read
+===== ==========================================
+EC    ``model``, ``ports``, ``degree``, ``globals``
+PO    ``model``, ``ports``, ``degree``, ``globals``
+OI    ``model``, ``ports``, ``degree``, ``globals``
+ID    all of the above plus ``identifier``, ``node``
+===== ==========================================
+
+An algorithm with a *sanctioned* out-of-model read (e.g. looking up its
+private coins in the tape, or indexing its own certificate input) declares
+it with a class attribute ``sanitizer_allow = frozenset({"node"})`` next to
+a comment justifying why the read carries no identity information; the
+declaration is deliberately visible at the class head so reviews and the
+static linter can audit it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Tuple
+
+from .context import NodeContext
+
+Node = Hashable
+
+__all__ = [
+    "LocalityViolation",
+    "AccessLog",
+    "SanitizedContext",
+    "MODEL_ALLOWED",
+    "allowed_attributes",
+    "wrap_contexts",
+]
+
+_COMMON = frozenset({"model", "ports", "degree", "globals"})
+
+#: attribute whitelist per model; anything else is an out-of-model read.
+MODEL_ALLOWED: Dict[str, FrozenSet[str]] = {
+    "EC": _COMMON,
+    "PO": _COMMON,
+    "OI": _COMMON,
+    "ID": _COMMON | {"identifier", "node"},
+}
+
+
+class LocalityViolation(RuntimeError):
+    """A node algorithm read context state its model does not grant."""
+
+    def __init__(self, node: Node, model: str, attr: str):
+        self.node = node
+        self.model = model
+        self.attr = attr
+        super().__init__(
+            f"node {node!r} read ctx.{attr} in the {model} model; allowed: "
+            f"{sorted(MODEL_ALLOWED.get(model, _COMMON))} (declare "
+            f"sanitizer_allow on the algorithm class to sanction this read)"
+        )
+
+
+@dataclass
+class AccessLog:
+    """Every context read of a sanitized run, grouped per model.
+
+    Attributes
+    ----------
+    model:
+        The network model the run executed under.
+    reads:
+        ``attr -> count`` over all nodes and rounds.
+    by_node:
+        ``node -> attr -> count``.
+    violations:
+        Out-of-model ``(node, attr)`` reads, in occurrence order.  In
+        ``"raise"`` mode the first entry is also raised as a
+        :class:`LocalityViolation`; in ``"log"`` mode the run continues and
+        the list accumulates.
+    """
+
+    model: str
+    reads: Counter = field(default_factory=Counter)
+    by_node: Dict[Node, Counter] = field(default_factory=dict)
+    violations: List[Tuple[Node, str]] = field(default_factory=list)
+
+    def record(self, node: Node, attr: str, *, out_of_model: bool) -> None:
+        """Count one read (and remember it if out of model)."""
+        self.reads[attr] += 1
+        self.by_node.setdefault(node, Counter())[attr] += 1
+        if out_of_model:
+            self.violations.append((node, attr))
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run performed no out-of-model read."""
+        return not self.violations
+
+
+class SanitizedContext:
+    """Access-tracking proxy around a :class:`NodeContext`.
+
+    Forwards every public attribute read to the wrapped context, recording
+    it in the shared :class:`AccessLog`; reads outside ``allowed`` raise a
+    :class:`LocalityViolation` (mode ``"raise"``) or are merely recorded
+    (mode ``"log"``).  The proxy is read-only like the context it wraps.
+    """
+
+    __slots__ = ("_ctx", "_log", "_allowed", "_mode")
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        log: AccessLog,
+        allowed: FrozenSet[str],
+        mode: str = "raise",
+    ):
+        if mode not in ("raise", "log"):
+            raise ValueError(f"mode must be 'raise' or 'log', got {mode!r}")
+        object.__setattr__(self, "_ctx", ctx)
+        object.__setattr__(self, "_log", log)
+        object.__setattr__(self, "_allowed", allowed)
+        object.__setattr__(self, "_mode", mode)
+
+    def __getattr__(self, name: str) -> Any:
+        ctx: NodeContext = object.__getattribute__(self, "_ctx")
+        if name.startswith("_"):
+            # dunder/protocol lookups are Python machinery, not model reads
+            return getattr(ctx, name)
+        value = getattr(ctx, name)
+        log: AccessLog = object.__getattribute__(self, "_log")
+        out = name not in object.__getattribute__(self, "_allowed")
+        log.record(ctx.node, name, out_of_model=out)
+        if out and object.__getattribute__(self, "_mode") == "raise":
+            raise LocalityViolation(ctx.node, ctx.model, name)
+        return value
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("SanitizedContext is read-only")
+
+    def __repr__(self) -> str:
+        ctx = object.__getattribute__(self, "_ctx")
+        return f"SanitizedContext({ctx!r})"
+
+
+def allowed_attributes(model: str, algorithm: Any = None) -> FrozenSet[str]:
+    """The read whitelist for ``model`` plus the algorithm's declared allowance."""
+    allowed = MODEL_ALLOWED.get(model, _COMMON)
+    declared = getattr(algorithm, "sanitizer_allow", None)
+    if declared:
+        allowed = allowed | frozenset(declared)
+    return allowed
+
+
+def wrap_contexts(
+    ctxs: Dict[Node, NodeContext],
+    model: str,
+    algorithm: Any = None,
+    mode: str = "raise",
+) -> Tuple[Dict[Node, SanitizedContext], AccessLog]:
+    """Wrap a whole context table for a sanitized run; returns the shared log."""
+    log = AccessLog(model=model)
+    allowed = allowed_attributes(model, algorithm)
+    wrapped = {v: SanitizedContext(ctx, log, allowed, mode=mode) for v, ctx in ctxs.items()}
+    return wrapped, log

@@ -62,7 +62,7 @@ class ProposalFM(DistributedAlgorithm):
     def _proposal(self, state: Dict[str, Any]) -> Optional[Fraction]:
         if state["residual"] == ZERO or not state["active"]:
             return None
-        return state["residual"] / len(state["active"])
+        return Fraction(state["residual"], len(state["active"]))
 
     def send(self, state: Dict[str, Any], ctx: NodeContext) -> Dict[Any, Any]:
         if state["done"]:

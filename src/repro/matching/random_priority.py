@@ -62,6 +62,10 @@ class RandomPriorityFM(DistributedAlgorithm):
     the locally dominant edges.
     """
 
+    #: reads ``ctx.node`` only through :func:`repro.local.randomized.my_coins`
+    #: — private coins are an input delivered by the tape, not identity.
+    sanitizer_allow = frozenset({"node"})
+
     def __init__(self, model: str = "EC"):
         if model not in ("EC", "ID"):
             raise ValueError(f"unsupported model {model!r}")
@@ -198,7 +202,7 @@ def id_output_is_valid_fm(g: "nx.Graph", outputs: Dict[Node, Dict[Node, Fraction
 
 def failure_rate(
     g: "nx.Graph", rng: random.Random, bits: int, samples: int = 100
-) -> float:
+) -> Fraction:
     """Empirical probability that a fresh tape yields an invalid output.
 
     Uses the **ID** variant, where edge priorities carry no colour salt:
@@ -218,4 +222,4 @@ def failure_rate(
         except Exception:
             ok = False
         failures += not ok
-    return failures / samples
+    return Fraction(failures, samples)

@@ -62,11 +62,17 @@ class LocalFMVerifier(DistributedAlgorithm):
 
     model = "EC"
 
+    #: the verifier indexes its *own input* (the proposed solution is handed
+    #: to each node as its certificate); ``ctx.node`` is bookkeeping here,
+    #: not information — the verdict depends only on the node's weights and
+    #: the one-round exchange.
+    sanitizer_allow = frozenset({"node"})
+
     def __init__(self, proposal: Mapping[Node, Mapping[Color, Fraction]]):
         self.proposal = {v: dict(cw) for v, cw in proposal.items()}
 
     def initial_state(self, ctx: NodeContext) -> Dict[str, Any]:
-        weights = {c: Fraction(self.proposal[ctx.node][c]) for c in ctx.ports}
+        weights = {c: Fraction(self.proposal[ctx.node][c]) for c in ctx.ports}  # repro: noqa[locality]
         load = sum(weights.values(), Fraction(0))
         return {"weights": weights, "load": load, "verdict": None}
 

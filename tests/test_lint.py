@@ -1,0 +1,340 @@
+"""Tests for the model-contract static analyzer (repro.lint)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import (
+    DEFAULT_CONFIG,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    render_json,
+    render_text,
+    summarize,
+)
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ---------------------------------------------------------------------------
+# rule: locality
+# ---------------------------------------------------------------------------
+
+CHEATING_EC = """
+from repro.local.algorithm import DistributedAlgorithm
+
+class Cheater(DistributedAlgorithm):
+    model = "EC"
+    def initial_state(self, ctx):
+        return {"me": ctx.node}
+    def send(self, state, ctx):
+        return {}
+    def receive(self, state, ctx, inbox):
+        return state
+    def output(self, state, ctx):
+        return ctx.identifier
+"""
+
+ID_ALGORITHM = """
+from repro.local.algorithm import DistributedAlgorithm
+
+class IdAlg(DistributedAlgorithm):
+    model = "ID"
+    def initial_state(self, ctx):
+        return ctx.identifier
+    def send(self, state, ctx):
+        return {p: ctx.node for p in ctx.ports}
+    def receive(self, state, ctx, inbox):
+        return state
+    def output(self, state, ctx):
+        return state
+"""
+
+REACHY_EC = """
+class Reacher:
+    model = "EC"
+    def initial_state(self, ctx):
+        from repro.local.runtime import ECNetwork
+        return ECNetwork
+    def send(self, state, ctx):
+        global shared
+        return {}
+"""
+
+
+class TestLocalityRule:
+    def test_ec_algorithm_reading_node_and_identifier_is_flagged(self):
+        findings = lint_source(CHEATING_EC, module="fixture")
+        assert rules_of(findings) == ["locality"]
+        assert len(findings) == 2  # ctx.node and ctx.identifier
+        assert any("ctx.node" in f.message for f in findings)
+        assert any("ctx.identifier" in f.message for f in findings)
+
+    def test_id_algorithm_may_read_identity(self):
+        assert lint_source(ID_ALGORITHM, module="fixture") == []
+
+    def test_runtime_import_and_global_inside_method_are_flagged(self):
+        findings = lint_source(REACHY_EC, module="fixture")
+        assert rules_of(findings) == ["locality"]
+        assert any("machinery" in f.message for f in findings)
+        assert any("global" in f.message for f in findings)
+
+    def test_noqa_suppresses_locality(self):
+        suppressed = CHEATING_EC.replace(
+            'return {"me": ctx.node}',
+            'return {"me": ctx.node}  # repro: noqa[locality]',
+        ).replace(
+            "return ctx.identifier",
+            "return ctx.identifier  # repro: noqa[locality]",
+        )
+        assert lint_source(suppressed, module="fixture") == []
+
+
+# ---------------------------------------------------------------------------
+# rule: determinism
+# ---------------------------------------------------------------------------
+
+AMBIENT_RANDOM = """
+import random
+
+def flip():
+    return random.random() < 0.5
+"""
+
+SEEDED_RANDOM = """
+import random
+
+def make(seed: int) -> random.Random:
+    return random.Random(seed)
+"""
+
+UNSEEDED_RANDOM = """
+import random
+
+def make():
+    return random.Random()
+"""
+
+NUMPY_TIME_ENTROPY = """
+import numpy as np
+import os
+import time
+
+def stamp():
+    return time.time(), np.random.rand(), os.urandom(4)
+"""
+
+
+class TestDeterminismRule:
+    def test_ambient_random_is_flagged(self):
+        findings = lint_source(AMBIENT_RANDOM, module="fixture")
+        assert rules_of(findings) == ["determinism"]
+
+    def test_seeded_random_is_allowed(self):
+        assert lint_source(SEEDED_RANDOM, module="fixture") == []
+
+    def test_unseeded_random_is_flagged(self):
+        findings = lint_source(UNSEEDED_RANDOM, module="fixture")
+        assert any("unseeded" in f.message for f in findings)
+
+    def test_numpy_time_urandom_are_flagged(self):
+        findings = lint_source(NUMPY_TIME_ENTROPY, module="fixture")
+        messages = " ".join(f.message for f in findings)
+        assert "numpy.random" in messages
+        assert "time" in messages
+        assert "urandom" in messages
+
+    def test_declared_randomized_module_is_skipped(self):
+        declared = lint_source(AMBIENT_RANDOM, module="repro.local.randomized")
+        assert declared == []
+
+    def test_randomized_marker_line_is_honoured(self):
+        marked = "# repro: randomized\n" + AMBIENT_RANDOM
+        assert lint_source(marked, module="fixture") == []
+
+    def test_from_import_of_ambient_name_is_flagged(self):
+        findings = lint_source("from random import choice\n", module="fixture")
+        assert rules_of(findings) == ["determinism"]
+        assert lint_source("from random import Random\n", module="fixture") == []
+
+
+# ---------------------------------------------------------------------------
+# rule: exact-arith
+# ---------------------------------------------------------------------------
+
+FLOATY = """
+def ratio(a, b):
+    x = 0.5
+    return float(a) / b + x
+"""
+
+
+class TestExactArithRule:
+    def test_floats_and_division_flagged_inside_scope(self):
+        findings = lint_source(FLOATY, module="repro.matching.fixture")
+        assert rules_of(findings) == ["exact-arith"]
+        assert len(findings) == 3  # literal, float(), division
+
+    def test_out_of_scope_module_is_ignored(self):
+        assert lint_source(FLOATY, module="repro.graphs.fixture") == []
+
+    def test_lp_and_analysis_are_exempt(self):
+        assert lint_source(FLOATY, module="repro.matching.lp") == []
+        assert lint_source(FLOATY, module="repro.analysis") == []
+
+    def test_core_is_in_scope(self):
+        findings = lint_source(FLOATY, module="repro.core.fixture")
+        assert rules_of(findings) == ["exact-arith"]
+
+    def test_noqa_suppresses_exact_arith(self):
+        suppressed = FLOATY.replace("x = 0.5", "x = 0.5  # repro: noqa[exact-arith]").replace(
+            "return float(a) / b + x",
+            "return float(a) / b + x  # repro: noqa[exact-arith]",
+        )
+        assert lint_source(suppressed, module="repro.matching.fixture") == []
+
+
+# ---------------------------------------------------------------------------
+# rule: frozen-mutation
+# ---------------------------------------------------------------------------
+
+MUTATING = """
+def sneak(ctx, extra):
+    ctx.globals["extra"] = extra
+    ctx.globals.update(extra)
+    object.__setattr__(ctx, "model", "ID")
+
+def poke(ball):
+    ball.distances.pop(0)
+
+def renamed(snapshot: NodeContext):
+    snapshot.ports = ()
+"""
+
+CLEAN_STATE = """
+def step(state, ctx):
+    state["weights"] = dict(state["weights"])
+    state["weights"][0] = 1
+    return state
+"""
+
+
+class TestFrozenMutationRule:
+    def test_context_view_ball_mutation_flagged(self):
+        findings = lint_source(MUTATING, module="fixture")
+        assert rules_of(findings) == ["frozen-mutation"]
+        assert len(findings) == 5
+
+    def test_annotated_parameter_is_tracked(self):
+        findings = lint_source(MUTATING, module="fixture")
+        # snapshot.ports = () is only caught via the NodeContext annotation
+        assert any("snapshot" in f.message for f in findings)
+
+    def test_ordinary_state_mutation_is_fine(self):
+        assert lint_source(CLEAN_STATE, module="fixture") == []
+
+    def test_noqa_suppresses_mutation(self):
+        suppressed = MUTATING.replace(
+            'ctx.globals["extra"] = extra',
+            'ctx.globals["extra"] = extra  # repro: noqa[frozen-mutation]',
+        )
+        findings = lint_source(suppressed, module="fixture")
+        assert len(findings) == 4
+
+
+# ---------------------------------------------------------------------------
+# suppression machinery
+# ---------------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_bare_noqa_silences_every_rule(self):
+        source = 'import random\nx = random.random()  # repro: noqa\n'
+        assert lint_source(source, module="fixture") == []
+
+    def test_listed_noqa_only_silences_named_rules(self):
+        source = 'import random\nx = random.random()  # repro: noqa[exact-arith]\n'
+        findings = lint_source(source, module="fixture")
+        assert rules_of(findings) == ["determinism"]
+
+    def test_multiple_rules_in_one_noqa(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # repro: noqa[determinism, exact-arith]\n"
+        )
+        assert lint_source(source, module="fixture") == []
+
+
+# ---------------------------------------------------------------------------
+# engine + reporters + the shipped tree
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_becomes_finding(self):
+        findings = lint_source("def broken(:\n", module="fixture")
+        assert rules_of(findings) == ["syntax"]
+
+    def test_module_name_for_walks_packages(self):
+        assert module_name_for(SRC / "repro" / "matching" / "lp.py") == "repro.matching.lp"
+        assert module_name_for(SRC / "repro" / "lint" / "__init__.py") == "repro.lint"
+
+    def test_default_config_declares_the_randomized_trio(self):
+        assert "repro.local.randomized" in DEFAULT_CONFIG.randomized_modules
+        assert "repro.matching.random_priority" in DEFAULT_CONFIG.randomized_modules
+        assert "repro.matching.integral" in DEFAULT_CONFIG.randomized_modules
+
+    def test_select_restricts_rules(self):
+        findings = lint_source(FLOATY, module="repro.matching.fixture", select=["locality"])
+        assert findings == []
+
+
+class TestReporters:
+    def test_render_json_round_trips(self):
+        findings = lint_source(FLOATY, module="repro.matching.fixture")
+        payload = json.loads(render_json(findings))
+        assert payload["clean"] is False
+        assert payload["total"] == 3
+        assert payload["by_rule"] == {"exact-arith": 3}
+        assert len(payload["findings"]) == 3
+
+    def test_render_text_clean_message(self):
+        assert "clean" in render_text([])
+
+    def test_summarize_clean(self):
+        assert summarize([]) == {"clean": True, "total": 0, "by_rule": {}, "findings": []}
+
+
+class TestShippedTreeIsContractClean:
+    def test_lint_paths_on_src_is_clean(self):
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_lint_exits_zero_on_src(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_lint_json_output(self, capsys):
+        assert main(["lint", str(SRC), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+
+    def test_cli_lint_nonzero_on_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "determinism" in out
+
+    def test_cli_sanitize_demo(self, capsys):
+        assert main(["lint", "--sanitize-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "cheating algorithm caught" in out
+        assert "honest algorithm clean: True" in out

@@ -1,0 +1,168 @@
+"""Tests for the runtime locality sanitizer (repro.local.sanitize)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.families import path_graph, star_graph
+from repro.local.context import NodeContext
+from repro.local.randomized import tape_globals, uniform_tape
+from repro.local.runtime import ECNetwork, IDNetwork, run
+from repro.local.sanitize import (
+    MODEL_ALLOWED,
+    AccessLog,
+    LocalityViolation,
+    SanitizedContext,
+    allowed_attributes,
+    wrap_contexts,
+)
+from repro.local.views import FullInformationEC
+from repro.matching.fm import fm_from_node_outputs
+from repro.matching.greedy_color import greedy_color_algorithm
+from repro.matching.kuhn_approx import DoublingFM
+from repro.matching.proposal import ProposalFM
+from repro.matching.random_priority import RandomPriorityFM
+from repro.matching.verify import LocalFMVerifier
+
+
+class CheatingFM(ProposalFM):
+    """Proposal dynamics that illegally reads the node label."""
+
+    def initial_state(self, ctx: NodeContext):
+        state = super().initial_state(ctx)
+        state["me"] = ctx.node  # deliberate model violation  # repro: noqa[locality]
+        return state
+
+
+class TestViolationDetection:
+    def test_cheating_ec_algorithm_raises(self):
+        with pytest.raises(LocalityViolation) as excinfo:
+            run(ECNetwork(path_graph(4)), CheatingFM("EC"), sanitize=True)
+        assert excinfo.value.attr == "node"
+        assert excinfo.value.model == "EC"
+
+    def test_log_mode_records_and_continues(self):
+        result = run(
+            ECNetwork(path_graph(4)), CheatingFM("EC"), sanitize=True, sanitize_mode="log"
+        )
+        assert result.halted
+        log = result.access_log
+        assert not log.clean
+        assert {attr for _, attr in log.violations} == {"node"}
+        assert len(log.violations) == 4  # one read per node
+
+    def test_unsanitized_run_has_no_log(self):
+        result = run(ECNetwork(path_graph(4)), ProposalFM("EC"))
+        assert result.access_log is None
+
+
+class TestShippedAlgorithmsRunClean:
+    def _assert_clean_ec(self, algorithm, g, globals_=None):
+        result = run(ECNetwork(g, globals_=globals_), algorithm, sanitize=True)
+        assert result.halted
+        assert result.access_log.clean
+        return result
+
+    def test_proposal_fm(self):
+        self._assert_clean_ec(ProposalFM("EC"), path_graph(5))
+
+    def test_greedy_color_machine(self):
+        g = star_graph(4)
+        machine = greedy_color_algorithm().algorithm
+        result = self._assert_clean_ec(machine, g, globals_={"palette": g.colors()})
+        fm = fm_from_node_outputs(g, {v: dict(o) for v, o in result.outputs.items()})
+        assert fm.is_feasible() and fm.is_maximal()
+
+    def test_doubling_machine(self):
+        g = path_graph(6)
+        self._assert_clean_ec(DoublingFM(), g, globals_={"delta": g.max_degree()})
+
+    def test_full_information_ec(self):
+        self._assert_clean_ec(FullInformationEC(2), path_graph(4))
+
+    def test_verifier_runs_clean_under_declared_allowance(self):
+        g = path_graph(5)
+        outputs = run(ECNetwork(g), ProposalFM("EC")).outputs
+        result = run(ECNetwork(g), LocalFMVerifier(outputs), sanitize=True)
+        assert result.access_log.clean
+        assert all(verdict.ok for verdict in result.outputs.values())
+
+    def test_random_priority_tape_read_is_sanctioned(self):
+        g = path_graph(5)
+        tape = uniform_tape(g.nodes(), random.Random(7), bits=16)
+        result = run(
+            ECNetwork(g, globals_=tape_globals(tape)), RandomPriorityFM("EC"), sanitize=True
+        )
+        assert result.halted
+        assert result.access_log.clean
+
+    def test_id_model_allows_identity(self):
+        import networkx as nx
+
+        from repro.matching.naive import ParityTiltFM
+
+        g = nx.path_graph(4)
+        result = run(IDNetwork(g), ParityTiltFM(), sanitize=True)
+        assert result.halted
+        assert result.access_log.clean
+
+
+class TestAccessLogAndPolicy:
+    def test_reads_are_counted_per_attribute(self):
+        result = run(ECNetwork(path_graph(3)), ProposalFM("EC"), sanitize=True)
+        log = result.access_log
+        assert log.model == "EC"
+        assert log.reads["ports"] > 0
+        assert set(log.by_node) == set(path_graph(3).nodes())
+
+    def test_model_policies(self):
+        assert "node" not in MODEL_ALLOWED["EC"]
+        assert "identifier" not in MODEL_ALLOWED["PO"]
+        assert {"node", "identifier"} <= MODEL_ALLOWED["ID"]
+
+    def test_declared_allowance_extends_policy(self):
+        class Declared:
+            sanitizer_allow = frozenset({"node"})
+
+        assert "node" in allowed_attributes("EC", Declared())
+        assert "node" not in allowed_attributes("EC", object())
+
+    def test_proxy_is_read_only(self):
+        ctx = NodeContext(node=0, model="EC", ports=("a",))
+        wrapped, _ = wrap_contexts({0: ctx}, "EC")
+        with pytest.raises(AttributeError):
+            wrapped[0].model = "ID"
+
+    def test_proxy_forwards_degree_property(self):
+        ctx = NodeContext(node=0, model="EC", ports=("a", "b"))
+        log = AccessLog(model="EC")
+        proxy = SanitizedContext(ctx, log, allowed_attributes("EC"))
+        assert proxy.degree == 2
+        assert log.reads["degree"] == 1
+
+    def test_bad_mode_rejected(self):
+        ctx = NodeContext(node=0, model="EC", ports=())
+        with pytest.raises(ValueError):
+            SanitizedContext(ctx, AccessLog(model="EC"), frozenset(), mode="warn")
+
+
+class TestFrozenGlobals:
+    def test_context_globals_are_read_only(self):
+        ctx = NodeContext(node=0, model="EC", ports=(), globals={"delta": 3})
+        assert ctx.globals["delta"] == 3
+        with pytest.raises(TypeError):
+            ctx.globals["delta"] = 4  # repro: noqa[frozen-mutation]
+
+    def test_later_mutation_of_source_dict_does_not_leak(self):
+        source = {"delta": 3}
+        ctx = NodeContext(node=0, model="EC", ports=(), globals=source)
+        source["delta"] = 99
+        assert ctx.globals["delta"] == 3
+
+    def test_network_contexts_are_read_only(self):
+        network = ECNetwork(path_graph(3), globals_={"palette": ("a", "b")})
+        ctx = network.context(0)
+        with pytest.raises(TypeError):
+            ctx.globals["palette"] = ()  # repro: noqa[frozen-mutation]
