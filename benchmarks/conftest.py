@@ -1,4 +1,4 @@
-"""Benchmark-suite plumbing: collect experiment rows and print them.
+"""Benchmark-suite plumbing: collect experiment rows, print and persist them.
 
 Every benchmark records the quantities the corresponding paper artefact is
 about (witness depths, round counts, approximation ratios, ...) through the
@@ -6,20 +6,44 @@ about (witness depths, round counts, approximation ratios, ...) through the
 so that ``pytest benchmarks/ --benchmark-only`` reproduces the series the
 paper reports alongside pytest-benchmark's timing table.  EXPERIMENTS.md
 mirrors these tables.
+
+At session end every experiment's rows are additionally persisted as a
+``BENCH_<id>.json`` artifact (schema: ``repro.obs.export.
+write_bench_artifact`` / docs/observability.md) in ``$REPRO_BENCH_DIR``
+(default: the current directory), carrying the recorded series, the
+lint-cleanliness header, and — when ``$REPRO_BENCH_TRACE`` is set — a
+hottest-spans profile of the whole session captured with the ``repro.obs``
+tracer.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 from collections import defaultdict
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import pytest
 
 _ROWS: Dict[str, List[dict]] = defaultdict(list)
 
 _SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: session tracer (enabled via REPRO_BENCH_TRACE=1) and its uninstaller
+_TRACER = None
+_TRACER_GUARD = None
+
+
+def _lint_summary() -> Optional[dict]:
+    try:
+        from repro.lint import lint_paths, summarize
+
+        summary = summarize(lint_paths([_SRC]))
+        return {k: summary[k] for k in ("clean", "total", "by_rule")}
+    except Exception:  # never block a bench run on the linter
+        return None
 
 
 def pytest_report_header(config):
@@ -29,17 +53,25 @@ def pytest_report_header(config):
     honours the model contracts; this is ``repro lint --json`` inlined into
     the session header.
     """
-    try:
-        from repro.lint import lint_paths, summarize
+    summary = _lint_summary()
+    if summary is None:
+        return ["repro lint: unavailable"]
+    status = "contract-clean" if summary["clean"] else "CONTRACT VIOLATIONS"
+    return [f"repro lint: {status} — {json.dumps(summary, sort_keys=True)}"]
 
-        summary = summarize(lint_paths([_SRC]))
-        status = "contract-clean" if summary["clean"] else "CONTRACT VIOLATIONS"
-        payload = json.dumps(
-            {k: summary[k] for k in ("clean", "total", "by_rule")}, sort_keys=True
-        )
-        return [f"repro lint: {status} — {payload}"]
-    except Exception as exc:  # never block a bench run on the linter
-        return [f"repro lint: unavailable ({exc})"]
+
+def pytest_sessionstart(session):
+    """Optionally capture a whole-session trace (REPRO_BENCH_TRACE=1)."""
+    global _TRACER, _TRACER_GUARD
+    if not os.environ.get("REPRO_BENCH_TRACE"):
+        return
+    try:
+        from repro.obs import Tracer, use_tracer
+    except Exception:
+        return
+    _TRACER = Tracer()
+    _TRACER_GUARD = use_tracer(_TRACER)
+    _TRACER_GUARD.__enter__()
 
 
 @pytest.fixture
@@ -50,6 +82,45 @@ def record():
         _ROWS[experiment].append(row)
 
     return _record
+
+
+def _experiment_id(experiment: str) -> str:
+    """Filename-safe id of an experiment: its first token (``E1``, ``E10``)."""
+    token = experiment.split()[0] if experiment.split() else "misc"
+    return re.sub(r"[^A-Za-z0-9_-]", "", token) or "misc"
+
+
+def _write_artifacts(tr) -> None:
+    global _TRACER, _TRACER_GUARD
+    profile = None
+    if _TRACER_GUARD is not None:
+        _TRACER_GUARD.__exit__(None, None, None)
+        _TRACER_GUARD = None
+    if _TRACER is not None:
+        from repro.obs import profile_rows
+
+        profile = profile_rows(_TRACER)
+    try:
+        from repro.obs import write_bench_artifact
+    except Exception as exc:
+        tr.write_line(f"bench artifacts unavailable: {exc}")
+        return
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    lint = _lint_summary()
+    groups: Dict[str, List[dict]] = defaultdict(list)
+    for experiment in sorted(_ROWS):
+        groups[_experiment_id(experiment)].append(
+            {"experiment": experiment, "rows": _ROWS[experiment]}
+        )
+    for experiment_id, series in sorted(groups.items()):
+        path = write_bench_artifact(
+            out_dir / f"BENCH_{experiment_id}.json",
+            experiment_id,
+            series,
+            lint=lint,
+            profile=profile,
+        )
+        tr.write_line(f"wrote {path}")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -72,3 +143,4 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             tr.write_line(
                 "  " + "  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
             )
+    _write_artifacts(tr)

@@ -12,7 +12,10 @@ Subcommands (``python -m repro <subcommand> --help`` for details):
 * ``order``     — print a ball of the 2d-regular PO-tree sorted by the
                   Appendix A homogeneous order;
 * ``lint``      — run the model-contract static analyzer (``repro.lint``)
-                  over source trees, or demo the runtime locality sanitizer.
+                  over source trees, or demo the runtime locality sanitizer;
+* ``trace``     — run a workload under the ``repro.obs`` tracer and print
+                  the span tree (optionally dump JSON/JSONL traces and a
+                  hottest-spans profile).
 """
 
 from __future__ import annotations
@@ -135,6 +138,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the runtime locality sanitizer against a cheating and an "
         "honest EC algorithm instead of linting",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload under the repro.obs tracer and print the span tree",
+    )
+    trace.add_argument(
+        "target",
+        choices=["demo", "adversary", "theorem"],
+        help="demo: one simulator run + distributed verification; "
+        "adversary: the Section 4 construction; "
+        "theorem: the EC<=PO chain fed to the adversary (Section 5)",
+    )
+    trace.add_argument("--delta", type=int, default=5)
+    trace.add_argument("--algorithm", default="greedy")
+    trace.add_argument(
+        "--chain",
+        choices=["po", "oi", "id"],
+        default="po",
+        help="how deep a Section 5 chain the theorem target builds "
+        "(po: EC<=PO; oi: EC<=PO<=OI; id: the full EC<=PO<=OI<=ID; "
+        "deeper chains are much slower)",
+    )
+    trace.add_argument("--json", metavar="PATH", help="write the JSON trace document")
+    trace.add_argument("--jsonl", metavar="PATH", help="write a flat JSONL span log")
+    trace.add_argument(
+        "--profile", action="store_true", help="also print the hottest spans"
+    )
+    trace.add_argument(
+        "--top", type=int, default=10, help="profile rows to print (default 10)"
+    )
+    trace.add_argument(
+        "--max-depth",
+        type=int,
+        default=3,
+        help="span-tree print depth (the JSON export is always complete)",
     )
 
     return parser
@@ -263,6 +302,71 @@ def _cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import (
+        Tracer,
+        count_spans,
+        profile_rows,
+        render_profile,
+        render_tree,
+        use_tracer,
+        write_json,
+        write_jsonl,
+    )
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        if args.target == "demo":
+            g = _make_graph("random", 20, args.delta, seed=0)
+            alg = _make_algorithm(args.algorithm)
+            with tracer.span("trace.demo", family="random", delta=args.delta):
+                outputs = alg.run_on(g)
+                ok, _, _ = verify_distributed(g, outputs)
+            print(f"demo: {alg.name} on random(n=20, delta={args.delta}); verifier "
+                  f"{'accepts' if ok else 'REJECTS'}")
+        elif args.target == "adversary":
+            alg = _make_algorithm(args.algorithm)
+            try:
+                witness = run_adversary(alg, args.delta, tracer=tracer)
+            except AlgorithmFailure as failure:
+                print(f"algorithm {alg.name!r} caught as incorrect: {failure}")
+            else:
+                print(witness.conclusion())
+        else:  # theorem: the Section 5 chain in front of the adversary
+            from .core.sim_po_oi import SymmetricOIAdapter
+            from .core.theorem import chain_id_to_ec, chain_oi_to_ec, chain_po_to_ec
+            from .local.algorithm import SimulatedPOWeights
+            from .matching.proposal import ProposalFM
+
+            if args.chain == "po":
+                ec = chain_po_to_ec(SimulatedPOWeights(ProposalFM("PO")))
+            elif args.chain == "oi":
+                ec = chain_oi_to_ec(SymmetricOIAdapter(ProposalFM("PO"), t=args.delta))
+            else:
+                ec = chain_id_to_ec(
+                    ProposalFM("ID"),
+                    t=args.delta,
+                    id_pool=lambda n: [1000 + 7 * i for i in range(n)],
+                )
+            result = refute(ec, claimed_rounds=1, delta=args.delta, tracer=tracer)
+            print(result.summary())
+
+    steps = count_spans(tracer, "adversary.step")
+    total = sum(1 for _ in tracer.iter_spans())
+    print(f"\ntrace: {total} spans ({steps} adversary steps)")
+    print(render_tree(tracer, max_depth=args.max_depth))
+    if args.profile:
+        print("\nhottest spans (by self time):")
+        print(render_profile(profile_rows(tracer), top=args.top))
+    if args.json:
+        path = write_json(tracer, args.json, command=f"trace {args.target}")
+        print(f"\nwrote JSON trace to {path}")
+    if args.jsonl:
+        path = write_jsonl(tracer, args.jsonl)
+        print(f"wrote JSONL span log to {path}")
+    return 0
+
+
 def _cmd_order(args) -> int:
     steps = [(c, s) for c in range(1, args.generators + 1) for s in (+1, -1)]
     words = {()}
@@ -298,6 +402,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "order": _cmd_order,
         "exhaustive": _cmd_exhaustive,
         "lint": _cmd_lint,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

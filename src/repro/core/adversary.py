@@ -40,6 +40,7 @@ from ..graphs.multigraph import ECGraph
 from ..graphs.neighborhoods import ball
 from ..local.algorithm import ECWeightAlgorithm
 from ..matching.fm import InconsistentOutputError, fm_from_node_outputs
+from ..obs.tracer import current_tracer
 from .propagation import disagreement_walk, node_load_of_output
 from .saturation import figure4_certificate, unsaturated_nodes
 from .witness import AlgorithmFailure, LowerBoundWitness, StepWitness
@@ -53,47 +54,69 @@ __all__ = ["run_adversary", "checked_run", "hard_instance_pair"]
 ONE = Fraction(1)
 
 
-def checked_run(algorithm: ECWeightAlgorithm, g: ECGraph, require_saturation: bool = True) -> NodeOutputs:
+def checked_run(
+    algorithm: ECWeightAlgorithm,
+    g: ECGraph,
+    require_saturation: bool = True,
+    tracer=None,
+) -> NodeOutputs:
     """Run ``algorithm`` on ``g`` and verify its output is a maximal FM.
 
     Raises :class:`AlgorithmFailure` with a certificate if the output is
     inconsistent, infeasible, non-maximal, or (when ``require_saturation``,
     for loopy inputs) leaves a node unsaturated — in the latter case the
     Figure 4 refuting lift is attached when one exists.
+
+    Emits one ``adversary.checked_run`` span (graph size, Lemma-2 verdict)
+    on the given or ambient tracer.
     """
-    try:
-        outputs = algorithm.run_on(g)
-    except Exception as exc:  # surface simulator/adapter errors with context
-        raise AlgorithmFailure(f"{algorithm.name} crashed on {g!r}: {exc}", graph=g) from exc
-    try:
-        fm = fm_from_node_outputs(g, outputs)
-    except InconsistentOutputError as exc:
-        raise AlgorithmFailure(
-            f"{algorithm.name} produced inconsistent endpoint outputs: {exc}", graph=g
-        ) from exc
-    problems = fm.feasibility_violations()
-    if problems:
-        raise AlgorithmFailure(
-            f"{algorithm.name} produced an infeasible FM: {problems[0]}", graph=g
-        )
-    missing = fm.maximality_violations()
-    if missing:
-        raise AlgorithmFailure(
-            f"{algorithm.name} produced a non-maximal FM (edge {missing[0]} uncovered)",
-            graph=g,
-            detail=missing,
-        )
-    if require_saturation:
-        bad = unsaturated_nodes(g, outputs)
-        if bad:
-            certificate = figure4_certificate(g, bad[0], algorithm)
+    tracer = tracer if tracer is not None else current_tracer()
+    with tracer.span(
+        "adversary.checked_run",
+        algorithm=algorithm.name,
+        nodes=g.num_nodes(),
+        edges=g.num_edges(),
+    ) as span:
+        try:
+            outputs = algorithm.run_on(g)
+        except Exception as exc:  # surface simulator/adapter errors with context
+            span.set(verdict="crashed")
+            raise AlgorithmFailure(f"{algorithm.name} crashed on {g!r}: {exc}", graph=g) from exc
+        try:
+            fm = fm_from_node_outputs(g, outputs)
+        except InconsistentOutputError as exc:
+            span.set(verdict="inconsistent")
             raise AlgorithmFailure(
-                f"{algorithm.name} left node {bad[0]!r} unsaturated on a loopy "
-                f"graph (Lemma 2); Figure-4 refutation "
-                f"{'attached' if certificate else 'not constructible here'}",
-                graph=g,
-                detail=certificate,
+                f"{algorithm.name} produced inconsistent endpoint outputs: {exc}", graph=g
+            ) from exc
+        problems = fm.feasibility_violations()
+        if problems:
+            span.set(verdict="infeasible")
+            raise AlgorithmFailure(
+                f"{algorithm.name} produced an infeasible FM: {problems[0]}", graph=g
             )
+        missing = fm.maximality_violations()
+        if missing:
+            span.set(verdict="non-maximal")
+            raise AlgorithmFailure(
+                f"{algorithm.name} produced a non-maximal FM (edge {missing[0]} uncovered)",
+                graph=g,
+                detail=missing,
+            )
+        if require_saturation:
+            bad = unsaturated_nodes(g, outputs)
+            if bad:
+                span.set(verdict="unsaturated")
+                certificate = figure4_certificate(g, bad[0], algorithm)
+                raise AlgorithmFailure(
+                    f"{algorithm.name} left node {bad[0]!r} unsaturated on a loopy "
+                    f"graph (Lemma 2); Figure-4 refutation "
+                    f"{'attached' if certificate else 'not constructible here'}",
+                    graph=g,
+                    detail=certificate,
+                )
+        span.set(verdict="ok")
+        tracer.metrics.counter("adversary.checked_runs", algorithm=algorithm.name).inc()
     return {v: dict(out) for v, out in outputs.items()}
 
 
@@ -116,6 +139,7 @@ def run_adversary(
     algorithm: ECWeightAlgorithm,
     delta: int,
     deep_verify: bool = False,
+    tracer=None,
 ) -> LowerBoundWitness:
     """Execute the full Section 4 construction against ``algorithm``.
 
@@ -130,6 +154,14 @@ def run_adversary(
         Re-run the algorithm on every unfolded 2-lift and check the outputs
         agree with the lift-invariance prediction (slower; catches
         non-anonymous algorithms red-handed).
+    tracer:
+        A :class:`repro.obs.Tracer`; defaults to the ambient tracer (no-op
+        unless installed).  Emits one ``adversary.run`` span containing one
+        ``adversary.step`` span per induction step (the base case is step
+        0) with ``adversary.unfold`` / ``adversary.mix`` /
+        ``adversary.walk`` / ``adversary.iso_check`` sub-spans, graph
+        node/edge counts and certificate verdicts — the measurable form of
+        the construction's Delta-linear cost profile.
 
     Returns
     -------
@@ -144,119 +176,148 @@ def run_adversary(
     """
     if delta < 2:
         raise ValueError("the construction needs delta >= 2")
+    tracer = tracer if tracer is not None else current_tracer()
     witness = LowerBoundWitness(algorithm=algorithm.name, delta=delta)
 
-    # ------------------------------------------------------------------
-    # base case (Section 4.2, Figure 5)
-    # ------------------------------------------------------------------
-    graph_g = single_node_with_loops(delta, node="r")
-    out_g = checked_run(algorithm, graph_g)
-    node_g = "r"
-    positive = [
-        e for e in graph_g.loops_at(node_g) if Fraction(out_g[node_g][e.color]) > 0
-    ]
-    if not positive:
-        raise AlgorithmFailure(
-            f"{algorithm.name} saturated a node with all-zero loop weights",
-            graph=graph_g,
-        )
-    removed = positive[0]
-    graph_h = graph_g.copy()
-    graph_h.remove_edge(removed.eid)
-    out_h = checked_run(algorithm, graph_h)
-    node_h = node_g
-    color = _first_disagreeing_color(
-        {c: w for c, w in out_g[node_g].items() if c != removed.color},
-        out_h[node_h],
-    )
-    if color is None:
-        raise AlgorithmFailure(
-            f"{algorithm.name} announced identical weights on G0 - e and H0, "
-            f"contradicting saturation",
-            graph=graph_h,
-        )
-    witness.steps.append(
-        _make_step(
-            0, graph_g, graph_h, node_g, node_h, color,
-            Fraction(out_g[node_g][color]), Fraction(out_h[node_h][color]),
-            delta, side="base",
-        )
-    )
-
-    # ------------------------------------------------------------------
-    # inductive steps (Section 4.3, Figures 6-7)
-    # ------------------------------------------------------------------
-    for i in range(delta - 2):
-        e = graph_g.edge_at(node_g, color)
-        f = graph_h.edge_at(node_h, color)
-        assert e is not None and e.is_loop, "witness colour must be a loop in G"
-        assert f is not None and f.is_loop, "witness colour must be a loop in H"
-
-        gg, alpha_gg, _ = unfold_loop(graph_g, e.eid)
-        gh, _ = mix(graph_g, e.eid, graph_h, f.eid)
-
-        out_gg = _lifted_outputs(out_g, gg)
-        if deep_verify:
-            fresh = checked_run(algorithm, gg)
-            if _normalise(fresh) != _normalise(out_gg):
+    with tracer.span("adversary.run", algorithm=algorithm.name, delta=delta) as adv_span:
+        # --------------------------------------------------------------
+        # base case (Section 4.2, Figure 5)
+        # --------------------------------------------------------------
+        with tracer.span("adversary.step", index=0, side="base") as base_span:
+            graph_g = single_node_with_loops(delta, node="r")
+            out_g = checked_run(algorithm, graph_g, tracer=tracer)
+            node_g = "r"
+            positive = [
+                e for e in graph_g.loops_at(node_g) if Fraction(out_g[node_g][e.color]) > 0
+            ]
+            if not positive:
                 raise AlgorithmFailure(
-                    f"{algorithm.name} is not lift-invariant: its outputs on the "
-                    f"unfolded 2-lift differ from the base graph's",
-                    graph=gg,
+                    f"{algorithm.name} saturated a node with all-zero loop weights",
+                    graph=graph_g,
                 )
-        out_gh = checked_run(algorithm, gh)
-
-        w_e = Fraction(out_g[node_g][color])
-        w_f = Fraction(out_h[node_h][color])
-        w_mix = Fraction(out_gh[(0, node_g)][color])
-        assert w_e != w_f, "induction invariant: the loop weights differ"
-
-        if w_mix != w_e:
-            # pair (GG, GH); walk the disagreement through the G side
-            side = "G"
-            walk_graph = graph_g
-            outputs1 = out_g
-            outputs2 = {v: out_gh[(0, v)] for v in graph_g.nodes()}
-            start = node_g
-            new_g_graph, new_g_outputs = gg, out_gg
-            embed = lambda v: (0, v)  # noqa: E731 - tiny positional helper
-        else:
-            # w_mix == w_e != w_f: pair (HH, GH); walk through the H side
-            side = "H"
-            hh, _, _ = unfold_loop(graph_h, f.eid)
-            out_hh = _lifted_outputs(out_h, hh)
-            if deep_verify:
-                fresh = checked_run(algorithm, hh)
-                if _normalise(fresh) != _normalise(out_hh):
-                    raise AlgorithmFailure(
-                        f"{algorithm.name} is not lift-invariant on the unfolded "
-                        f"2-lift of H",
-                        graph=hh,
-                    )
-            walk_graph = graph_h
-            outputs1 = out_h
-            outputs2 = {v: out_gh[(1, v)] for v in graph_h.nodes()}
-            start = node_h
-            new_g_graph, new_g_outputs = hh, out_hh
-            embed = lambda v: (1, v)  # noqa: E731
-
-        g_star, loop_color, _trail = disagreement_walk(
-            walk_graph, outputs1, outputs2, start, color
-        )
-
-        graph_g, out_g = new_g_graph, new_g_outputs
-        graph_h, out_h = gh, out_gh
-        node_g = (0, g_star)
-        node_h = embed(g_star)
-        color = loop_color
-
-        witness.steps.append(
-            _make_step(
-                i + 1, graph_g, graph_h, node_g, node_h, color,
-                Fraction(out_g[node_g][color]), Fraction(out_h[node_h][color]),
-                delta, side=side,
+            removed = positive[0]
+            graph_h = graph_g.copy()
+            graph_h.remove_edge(removed.eid)
+            out_h = checked_run(algorithm, graph_h, tracer=tracer)
+            node_h = node_g
+            color = _first_disagreeing_color(
+                {c: w for c, w in out_g[node_g].items() if c != removed.color},
+                out_h[node_h],
             )
-        )
+            if color is None:
+                raise AlgorithmFailure(
+                    f"{algorithm.name} announced identical weights on G0 - e and H0, "
+                    f"contradicting saturation",
+                    graph=graph_h,
+                )
+            witness.steps.append(
+                _make_step(
+                    0, graph_g, graph_h, node_g, node_h, color,
+                    Fraction(out_g[node_g][color]), Fraction(out_h[node_h][color]),
+                    delta, side="base", tracer=tracer,
+                )
+            )
+            base_span.set(nodes_g=graph_g.num_nodes(), nodes_h=graph_h.num_nodes())
+
+        # --------------------------------------------------------------
+        # inductive steps (Section 4.3, Figures 6-7)
+        # --------------------------------------------------------------
+        for i in range(delta - 2):
+            with tracer.span("adversary.step", index=i + 1) as step_span:
+                e = graph_g.edge_at(node_g, color)
+                f = graph_h.edge_at(node_h, color)
+                assert e is not None and e.is_loop, "witness colour must be a loop in G"
+                assert f is not None and f.is_loop, "witness colour must be a loop in H"
+
+                with tracer.span("adversary.unfold", side="G", nodes=graph_g.num_nodes()):
+                    gg, alpha_gg, _ = unfold_loop(graph_g, e.eid)
+                with tracer.span(
+                    "adversary.mix",
+                    nodes_g=graph_g.num_nodes(),
+                    nodes_h=graph_h.num_nodes(),
+                ):
+                    gh, _ = mix(graph_g, e.eid, graph_h, f.eid)
+
+                out_gg = _lifted_outputs(out_g, gg)
+                if deep_verify:
+                    fresh = checked_run(algorithm, gg, tracer=tracer)
+                    if _normalise(fresh) != _normalise(out_gg):
+                        raise AlgorithmFailure(
+                            f"{algorithm.name} is not lift-invariant: its outputs on the "
+                            f"unfolded 2-lift differ from the base graph's",
+                            graph=gg,
+                        )
+                out_gh = checked_run(algorithm, gh, tracer=tracer)
+
+                w_e = Fraction(out_g[node_g][color])
+                w_f = Fraction(out_h[node_h][color])
+                w_mix = Fraction(out_gh[(0, node_g)][color])
+                assert w_e != w_f, "induction invariant: the loop weights differ"
+
+                if w_mix != w_e:
+                    # pair (GG, GH); walk the disagreement through the G side
+                    side = "G"
+                    walk_graph = graph_g
+                    outputs1 = out_g
+                    outputs2 = {v: out_gh[(0, v)] for v in graph_g.nodes()}
+                    start = node_g
+                    new_g_graph, new_g_outputs = gg, out_gg
+                    embed = lambda v: (0, v)  # noqa: E731 - tiny positional helper
+                else:
+                    # w_mix == w_e != w_f: pair (HH, GH); walk through the H side
+                    side = "H"
+                    with tracer.span(
+                        "adversary.unfold", side="H", nodes=graph_h.num_nodes()
+                    ):
+                        hh, _, _ = unfold_loop(graph_h, f.eid)
+                    out_hh = _lifted_outputs(out_h, hh)
+                    if deep_verify:
+                        fresh = checked_run(algorithm, hh, tracer=tracer)
+                        if _normalise(fresh) != _normalise(out_hh):
+                            raise AlgorithmFailure(
+                                f"{algorithm.name} is not lift-invariant on the unfolded "
+                                f"2-lift of H",
+                                graph=hh,
+                            )
+                    walk_graph = graph_h
+                    outputs1 = out_h
+                    outputs2 = {v: out_gh[(1, v)] for v in graph_h.nodes()}
+                    start = node_h
+                    new_g_graph, new_g_outputs = hh, out_hh
+                    embed = lambda v: (1, v)  # noqa: E731
+
+                with tracer.span(
+                    "adversary.walk", side=side, nodes=walk_graph.num_nodes()
+                ) as walk_span:
+                    g_star, loop_color, _trail = disagreement_walk(
+                        walk_graph, outputs1, outputs2, start, color
+                    )
+                    walk_span.set(trail_length=len(_trail))
+
+                graph_g, out_g = new_g_graph, new_g_outputs
+                graph_h, out_h = gh, out_gh
+                node_g = (0, g_star)
+                node_h = embed(g_star)
+                color = loop_color
+
+                witness.steps.append(
+                    _make_step(
+                        i + 1, graph_g, graph_h, node_g, node_h, color,
+                        Fraction(out_g[node_g][color]), Fraction(out_h[node_h][color]),
+                        delta, side=side, tracer=tracer,
+                    )
+                )
+                step_span.set(
+                    side=side,
+                    nodes_g=graph_g.num_nodes(),
+                    edges_g=graph_g.num_edges(),
+                    nodes_h=graph_h.num_nodes(),
+                    edges_h=graph_h.num_edges(),
+                )
+                tracer.metrics.counter(
+                    "adversary.steps", algorithm=algorithm.name, delta=delta
+                ).inc()
+        adv_span.set(achieved_depth=witness.achieved_depth)
     return witness
 
 
@@ -302,9 +363,15 @@ def _make_step(
     weight_h: Fraction,
     delta: int,
     side: str,
+    tracer=None,
 ) -> StepWitness:
     """Assemble a step witness, performing the (P1)-(P3) machine checks."""
-    iso = balls_isomorphic(ball(graph_g, node_g, index), ball(graph_h, node_h, index))
+    tracer = tracer if tracer is not None else current_tracer()
+    with tracer.span(
+        "adversary.iso_check", radius=index, nodes=graph_g.num_nodes()
+    ) as iso_span:
+        iso = balls_isomorphic(ball(graph_g, node_g, index), ball(graph_h, node_h, index))
+        iso_span.set(isomorphic=iso)
     budget = min(min_direct_loops(graph_g), min_direct_loops(graph_h))
     trees = graph_g.is_tree_ignoring_loops() and graph_h.is_tree_ignoring_loops()
     step = StepWitness(

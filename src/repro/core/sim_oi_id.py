@@ -278,6 +278,17 @@ class OIFromID(OIAlgorithm):
         self.name = name or f"oi<=id[{type(algorithm).__name__}]"
 
     def evaluate(self, tree: POGraph, root: Node, ordered_nodes: List[Node]) -> Dict[Slot, Fraction]:
+        from ..obs.tracer import current_tracer
+
+        with current_tracer().span(
+            "sim.oi_from_id",
+            algorithm=self.name,
+            neighbourhood=len(ordered_nodes),
+            t=self.t,
+        ):
+            return self._evaluate(tree, root, ordered_nodes)
+
+    def _evaluate(self, tree: POGraph, root: Node, ordered_nodes: List[Node]) -> Dict[Slot, Fraction]:
         pool = list(self._pool_factory(len(ordered_nodes)))
         phi = assign_ids_respecting_order(ordered_nodes, pool)
         undirected = nx.Graph()

@@ -78,13 +78,22 @@ class POFromOI(POWeightAlgorithm):
         self.name = f"po<=oi[{oi_algorithm.name}]"
 
     def run_on(self, g: POGraph) -> Dict[Node, Dict[Slot, Fraction]]:
+        from ..obs.tracer import current_tracer
+
         t = self.oi_algorithm.t
         outputs: Dict[Node, Dict[Slot, Fraction]] = {}
-        for v in g.nodes():
-            cover = universal_cover_po(g, v, t)
-            words = cover_words(g, cover)
-            ordered = sorted(cover.tree.nodes(), key=lambda n: tree_sort_key(words[n]))
-            outputs[v] = dict(self.oi_algorithm.evaluate(cover.tree, cover.root, ordered))
+        with current_tracer().span(
+            "sim.po_from_oi", algorithm=self.name, nodes=g.num_nodes(), t=t
+        ) as span:
+            for v in g.nodes():
+                cover = universal_cover_po(g, v, t)
+                words = cover_words(g, cover)
+                ordered = sorted(cover.tree.nodes(), key=lambda n: tree_sort_key(words[n]))
+                outputs[v] = dict(
+                    self.oi_algorithm.evaluate(cover.tree, cover.root, ordered)
+                )
+                span.add("covers")
+                span.add("cover_nodes", cover.tree.num_nodes())
         return outputs
 
     def rounds_used(self, g: POGraph) -> Optional[int]:

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Optional, Sequence
 
 from ..local.algorithm import DistributedAlgorithm, ECWeightAlgorithm, POWeightAlgorithm
+from ..obs.tracer import current_tracer
 from .adversary import run_adversary
 from .sim_ec_po import ECFromPO
 from .sim_oi_id import OIFromID
@@ -109,6 +110,7 @@ def refute(
     claimed_rounds: int,
     delta: int,
     deep_verify: bool = False,
+    tracer=None,
 ) -> Refutation:
     """Test the claim "``algorithm`` computes maximal FM in ``claimed_rounds``
     rounds on EC-graphs of maximum degree ``delta``".
@@ -119,31 +121,46 @@ def refute(
     ``claimed_rounds <= delta - 2`` the step witness at index
     ``claimed_rounds`` — isomorphic radius-``claimed_rounds`` views with
     different outputs — refutes the run-time claim.
+
+    ``tracer`` wraps the whole pipeline in one ``theorem.refute`` span; the
+    adversary and any ``sim.*`` chain layers the algorithm is built from
+    nest inside it, making the per-layer overhead of EC ⇐ PO ⇐ OI ⇐ ID
+    directly measurable.
     """
-    try:
-        witness = run_adversary(algorithm, delta, deep_verify=deep_verify)
-    except AlgorithmFailure as failure:
-        return Refutation(
-            algorithm=algorithm.name,
-            claimed_rounds=claimed_rounds,
-            delta=delta,
-            kind="incorrect-output",
-            failure=failure,
-        )
-    if claimed_rounds <= witness.achieved_depth:
-        step = next(s for s in witness.steps if s.index == claimed_rounds)
-        return Refutation(
-            algorithm=algorithm.name,
-            claimed_rounds=claimed_rounds,
-            delta=delta,
-            kind="locality-violation",
-            witness=witness,
-            step=step,
-        )
-    return Refutation(
+    tracer = tracer if tracer is not None else current_tracer()
+    with tracer.span(
+        "theorem.refute",
         algorithm=algorithm.name,
         claimed_rounds=claimed_rounds,
         delta=delta,
-        kind="consistent",
-        witness=witness,
-    )
+    ) as span:
+        try:
+            witness = run_adversary(algorithm, delta, deep_verify=deep_verify, tracer=tracer)
+        except AlgorithmFailure as failure:
+            span.set(kind="incorrect-output")
+            return Refutation(
+                algorithm=algorithm.name,
+                claimed_rounds=claimed_rounds,
+                delta=delta,
+                kind="incorrect-output",
+                failure=failure,
+            )
+        if claimed_rounds <= witness.achieved_depth:
+            step = next(s for s in witness.steps if s.index == claimed_rounds)
+            span.set(kind="locality-violation")
+            return Refutation(
+                algorithm=algorithm.name,
+                claimed_rounds=claimed_rounds,
+                delta=delta,
+                kind="locality-violation",
+                witness=witness,
+                step=step,
+            )
+        span.set(kind="consistent")
+        return Refutation(
+            algorithm=algorithm.name,
+            claimed_rounds=claimed_rounds,
+            delta=delta,
+            kind="consistent",
+            witness=witness,
+        )

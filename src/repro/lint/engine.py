@@ -38,6 +38,7 @@ __all__ = [
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([a-zA-Z0-9_\-,\s]+)\])?")
 _RANDOMIZED_MARKER_RE = re.compile(r"^\s*#\s*repro:\s*randomized\s*$")
+_CLOCK_MARKER_RE = re.compile(r"^\s*#\s*repro:\s*clock\s*$")
 
 
 @dataclass(frozen=True, order=True)
@@ -64,6 +65,13 @@ class LintConfig:
     randomized_modules:
         Dotted module names explicitly declared randomized; the
         ``determinism`` rule skips them entirely.
+    clock_modules:
+        Modules sanctioned to read wall clocks (``time``).  The
+        observability tracer must time spans, but nothing the *model*
+        computes may depend on a clock — so the exemption is surgical:
+        clock reads are permitted in exactly these modules (or under a
+        module-level ``# repro: clock`` marker) and every other
+        ``determinism`` check still applies to them.
     exact_scopes:
         Dotted prefixes inside which ``exact-arith`` applies.
     exact_exempt:
@@ -78,6 +86,7 @@ class LintConfig:
             "repro.matching.integral",
         }
     )
+    clock_modules: frozenset = frozenset({"repro.obs.tracer"})
     exact_scopes: Tuple[str, ...] = ("repro.matching", "repro.core")
     exact_exempt: frozenset = frozenset({"repro.matching.lp", "repro.analysis"})
 
@@ -102,6 +111,17 @@ class ModuleUnderLint:
         if self.module in self.config.randomized_modules:
             return True
         return any(_RANDOMIZED_MARKER_RE.match(line) for line in self.lines)
+
+    @property
+    def declared_clock(self) -> bool:
+        """Whether the module is a sanctioned clock reader (list or marker).
+
+        Unlike ``declared_randomized`` this only relaxes the ``time``
+        checks of the ``determinism`` rule; ambient entropy stays flagged.
+        """
+        if self.module in self.config.clock_modules:
+            return True
+        return any(_CLOCK_MARKER_RE.match(line) for line in self.lines)
 
     @property
     def in_exact_scope(self) -> bool:

@@ -51,9 +51,16 @@ def _alias_map(tree: ast.AST) -> Dict[str, str]:
 
 
 def check(mod: ModuleUnderLint) -> Iterator[Finding]:
-    """Flag ambient-randomness use in modules not declared randomized."""
+    """Flag ambient-randomness use in modules not declared randomized.
+
+    Modules sanctioned as clock readers (``LintConfig.clock_modules`` or a
+    ``# repro: clock`` marker — currently only the observability tracer)
+    are exempt from the ``time`` checks alone; every other determinism
+    check still applies to them.
+    """
     if mod.declared_randomized:
         return
+    clock_sanctioned = mod.declared_clock
     aliases = _alias_map(mod.tree)
 
     for node in ast.walk(mod.tree):
@@ -61,6 +68,8 @@ def check(mod: ModuleUnderLint) -> Iterator[Finding]:
             module = node.module or ""
             verdict = _FORBIDDEN_FROM_IMPORTS.get(module)
             if verdict is None:
+                continue
+            if module == "time" and clock_sanctioned:
                 continue
             for alias in node.names:
                 if verdict(alias.name):
@@ -88,7 +97,7 @@ def check(mod: ModuleUnderLint) -> Iterator[Finding]:
                 yield mod.finding(
                     node, RULE_ID, "numpy.random is ambient entropy; use a seeded generator"
                 )
-            elif canonical == "time":
+            elif canonical == "time" and not clock_sanctioned:
                 yield mod.finding(
                     node,
                     RULE_ID,

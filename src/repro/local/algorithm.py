@@ -133,16 +133,21 @@ class SimulatedECWeights(ECWeightAlgorithm):
         self.last_message_total: Optional[int] = None
 
     def run_on(self, g: ECGraph) -> Dict[Node, Dict[Color, Fraction]]:
+        from ..obs.tracer import current_tracer
         from .runtime import ECNetwork, run
 
-        network = ECNetwork(g, globals_=self.globals_factory(g))
-        result = run(network, self.algorithm, max_rounds=self.max_rounds_factory(g))
-        if not result.halted:
-            raise RuntimeError(
-                f"{self.name} did not halt within {self.max_rounds_factory(g)} rounds"
-            )
-        self._last_rounds = result.rounds
-        self.last_message_total = sum(result.message_counts)
+        with current_tracer().span(
+            "algorithm.run_on", algorithm=self.name, model="EC", nodes=g.num_nodes()
+        ) as span:
+            network = ECNetwork(g, globals_=self.globals_factory(g))
+            result = run(network, self.algorithm, max_rounds=self.max_rounds_factory(g))
+            if not result.halted:
+                raise RuntimeError(
+                    f"{self.name} did not halt within {self.max_rounds_factory(g)} rounds"
+                )
+            self._last_rounds = result.rounds
+            self.last_message_total = sum(result.message_counts)
+            span.set(rounds=result.rounds, messages=self.last_message_total)
         return {v: dict(out) for v, out in result.outputs.items()}
 
     def rounds_used(self, g: ECGraph) -> Optional[int]:
@@ -185,15 +190,20 @@ class SimulatedPOWeights(POWeightAlgorithm):
         self._last_rounds: Optional[int] = None
 
     def run_on(self, g) -> Dict[Node, Dict[Any, Fraction]]:
+        from ..obs.tracer import current_tracer
         from .runtime import PONetwork, run
 
-        network = PONetwork(g, globals_=self.globals_factory(g))
-        result = run(network, self.algorithm, max_rounds=self.max_rounds_factory(g))
-        if not result.halted:
-            raise RuntimeError(
-                f"{self.name} did not halt within {self.max_rounds_factory(g)} rounds"
-            )
-        self._last_rounds = result.rounds
+        with current_tracer().span(
+            "algorithm.run_on", algorithm=self.name, model="PO", nodes=g.num_nodes()
+        ) as span:
+            network = PONetwork(g, globals_=self.globals_factory(g))
+            result = run(network, self.algorithm, max_rounds=self.max_rounds_factory(g))
+            if not result.halted:
+                raise RuntimeError(
+                    f"{self.name} did not halt within {self.max_rounds_factory(g)} rounds"
+                )
+            self._last_rounds = result.rounds
+            span.set(rounds=result.rounds)
         return {v: dict(out) for v, out in result.outputs.items()}
 
     def rounds_used(self, g) -> Optional[int]:

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..graphs.digraph import POGraph
 from ..graphs.multigraph import ECGraph
+from ..obs.tracer import current_tracer
 from .algorithm import DistributedAlgorithm
 from .context import NodeContext, Port
 
@@ -205,12 +206,22 @@ def _contexts_for(
     return wrap_contexts(ctxs, network.model, algorithm, mode=sanitize_mode)
 
 
+def _state_size_estimate(states: Dict[Node, Any]) -> int:
+    """Crude size proxy: total ``repr`` length of all node states.
+
+    Only computed when a real tracer is attached (``tracer.enabled``); the
+    repr walk is far too expensive for the untraced hot path.
+    """
+    return sum(len(repr(s)) for s in states.values())
+
+
 def run(
     network: Network,
     algorithm: DistributedAlgorithm,
     max_rounds: int = 10_000,
     sanitize: bool = False,
     sanitize_mode: str = "raise",
+    tracer=None,
 ) -> RunResult:
     """Execute ``algorithm`` on ``network`` until all nodes output or the cap.
 
@@ -223,37 +234,64 @@ def run(
     sanitizer (:mod:`repro.local.sanitize`): out-of-model reads raise a
     ``LocalityViolation`` (or are recorded when ``sanitize_mode="log"``)
     and the returned result carries the full ``access_log``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one ``local.run`` span
+    with nested per-round ``local.round`` spans (message counts, state-size
+    estimates) and ``local.poll`` spans timing the output polls; it defaults
+    to the ambient tracer, a no-op unless installed via
+    :func:`repro.obs.use_tracer`.
     """
     if algorithm.model != network.model:
         raise ValueError(
             f"algorithm model {algorithm.model!r} does not match network model {network.model!r}"
         )
+    tracer = tracer if tracer is not None else current_tracer()
     nodes = network.nodes()
     ctxs, access_log = _contexts_for(network, algorithm, nodes, sanitize, sanitize_mode)
-    states = {v: algorithm.initial_state(ctxs[v]) for v in nodes}
-    message_counts: List[int] = []
+    with tracer.span(
+        "local.run",
+        model=network.model,
+        algorithm=type(algorithm).__name__,
+        nodes=len(nodes),
+    ) as run_span:
+        states = {v: algorithm.initial_state(ctxs[v]) for v in nodes}
+        message_counts: List[int] = []
 
-    def poll() -> Dict[Node, Any]:
-        return {v: algorithm.output(states[v], ctxs[v]) for v in nodes}
+        def poll() -> Dict[Node, Any]:
+            with tracer.span("local.poll") as poll_span:
+                polled = {v: algorithm.output(states[v], ctxs[v]) for v in nodes}
+                poll_span.set(pending=sum(1 for o in polled.values() if o is None))
+            return polled
 
-    outputs = poll()
-    rounds = 0
-    while any(o is None for o in outputs.values()) and rounds < max_rounds:
-        inboxes: Dict[Node, Dict[Port, Any]] = {v: {} for v in nodes}
-        count = 0
-        for v in nodes:
-            sent = algorithm.send(states[v], ctxs[v])
-            for port, message in sent.items():
-                target, tport = network.route(v, port, message)
-                inboxes[target][tport] = message
-                count += 1
-        message_counts.append(count)
-        for v in nodes:
-            states[v] = algorithm.receive(states[v], ctxs[v], inboxes[v])
-        rounds += 1
         outputs = poll()
+        rounds = 0
+        while any(o is None for o in outputs.values()) and rounds < max_rounds:
+            with tracer.span("local.round", round=rounds) as round_span:
+                inboxes: Dict[Node, Dict[Port, Any]] = {v: {} for v in nodes}
+                count = 0
+                for v in nodes:
+                    sent = algorithm.send(states[v], ctxs[v])
+                    for port, message in sent.items():
+                        target, tport = network.route(v, port, message)
+                        inboxes[target][tport] = message
+                        count += 1
+                message_counts.append(count)
+                for v in nodes:
+                    states[v] = algorithm.receive(states[v], ctxs[v], inboxes[v])
+                rounds += 1
+                if tracer.enabled:
+                    round_span.set(
+                        messages=count, state_size=_state_size_estimate(states)
+                    )
+            outputs = poll()
 
-    halted = all(o is not None for o in outputs.values())
+        halted = all(o is not None for o in outputs.values())
+        run_span.set(rounds=rounds, halted=halted, messages=sum(message_counts))
+        tracer.metrics.counter("local.runs", model=network.model).inc()
+        tracer.metrics.counter("local.rounds", model=network.model).inc(rounds)
+        tracer.metrics.counter("local.messages", model=network.model).inc(
+            sum(message_counts)
+        )
     return RunResult(
         outputs=outputs,
         rounds=rounds,
@@ -270,6 +308,7 @@ def run_rounds(
     rounds: int,
     sanitize: bool = False,
     sanitize_mode: str = "raise",
+    tracer=None,
 ) -> RunResult:
     """Execute exactly ``rounds`` communication rounds (or fewer if all halt).
 
@@ -279,33 +318,65 @@ def run_rounds(
     offers no snapshot).  This realises evaluating a ``t``-time algorithm on
     a radius-``t`` view: whatever the node's state holds after ``t`` rounds
     is, by locality, its final answer on any graph agreeing on that view.
+
+    Per-round message delivery counts are recorded in
+    ``RunResult.message_counts`` exactly as in :func:`run`, and ``tracer``
+    behaves identically (``local.run_rounds`` / ``local.round`` spans).
     """
     if algorithm.model != network.model:
         raise ValueError(
             f"algorithm model {algorithm.model!r} does not match network model {network.model!r}"
         )
+    tracer = tracer if tracer is not None else current_tracer()
     nodes = network.nodes()
     ctxs, access_log = _contexts_for(network, algorithm, nodes, sanitize, sanitize_mode)
-    states = {v: algorithm.initial_state(ctxs[v]) for v in nodes}
-    executed = 0
-    for _ in range(rounds):
-        if all(algorithm.output(states[v], ctxs[v]) is not None for v in nodes):
-            break
-        inboxes: Dict[Node, Dict[Port, Any]] = {v: {} for v in nodes}
+    with tracer.span(
+        "local.run_rounds",
+        model=network.model,
+        algorithm=type(algorithm).__name__,
+        nodes=len(nodes),
+        budget=rounds,
+    ) as run_span:
+        states = {v: algorithm.initial_state(ctxs[v]) for v in nodes}
+        message_counts: List[int] = []
+        executed = 0
+        for _ in range(rounds):
+            if all(algorithm.output(states[v], ctxs[v]) is not None for v in nodes):
+                break
+            with tracer.span("local.round", round=executed) as round_span:
+                inboxes: Dict[Node, Dict[Port, Any]] = {v: {} for v in nodes}
+                count = 0
+                for v in nodes:
+                    for port, message in algorithm.send(states[v], ctxs[v]).items():
+                        target, tport = network.route(v, port, message)
+                        inboxes[target][tport] = message
+                        count += 1
+                message_counts.append(count)
+                for v in nodes:
+                    states[v] = algorithm.receive(states[v], ctxs[v], inboxes[v])
+                executed += 1
+                if tracer.enabled:
+                    round_span.set(
+                        messages=count, state_size=_state_size_estimate(states)
+                    )
+        outputs: Dict[Node, Any] = {}
         for v in nodes:
-            for port, message in algorithm.send(states[v], ctxs[v]).items():
-                target, tport = network.route(v, port, message)
-                inboxes[target][tport] = message
-        for v in nodes:
-            states[v] = algorithm.receive(states[v], ctxs[v], inboxes[v])
-        executed += 1
-    outputs: Dict[Node, Any] = {}
-    for v in nodes:
-        out = algorithm.output(states[v], ctxs[v])
-        if out is None:
-            out = algorithm.snapshot(states[v], ctxs[v])
-        outputs[v] = out
-    halted = all(o is not None for o in outputs.values())
+            out = algorithm.output(states[v], ctxs[v])
+            if out is None:
+                out = algorithm.snapshot(states[v], ctxs[v])
+            outputs[v] = out
+        halted = all(o is not None for o in outputs.values())
+        run_span.set(rounds=executed, halted=halted, messages=sum(message_counts))
+        tracer.metrics.counter("local.runs", model=network.model).inc()
+        tracer.metrics.counter("local.rounds", model=network.model).inc(executed)
+        tracer.metrics.counter("local.messages", model=network.model).inc(
+            sum(message_counts)
+        )
     return RunResult(
-        outputs=outputs, rounds=executed, halted=halted, states=states, access_log=access_log
+        outputs=outputs,
+        rounds=executed,
+        halted=halted,
+        states=states,
+        message_counts=message_counts,
+        access_log=access_log,
     )

@@ -112,9 +112,16 @@ def verify_distributed(
     Returns ``(accepted_everywhere, per-node verdicts, rounds)``; the round
     count is always 1, demonstrating local checkability.
     """
-    result = run(ECNetwork(g), LocalFMVerifier(proposal), max_rounds=2)
-    verdicts: Dict[Node, VerifierVerdict] = result.outputs
-    return all(v.ok for v in verdicts.values()), verdicts, result.rounds
+    from ..obs.tracer import current_tracer
+
+    with current_tracer().span(
+        "matching.verify_distributed", nodes=g.num_nodes(), edges=g.num_edges()
+    ) as span:
+        result = run(ECNetwork(g), LocalFMVerifier(proposal), max_rounds=2)
+        verdicts: Dict[Node, VerifierVerdict] = result.outputs
+        accepted = all(v.ok for v in verdicts.values())
+        span.set(accepted=accepted, rounds=result.rounds)
+    return accepted, verdicts, result.rounds
 
 
 def check_maximal_fm(fm: FractionalMatching) -> List[str]:

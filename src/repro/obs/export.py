@@ -1,0 +1,205 @@
+"""Exporters for traces and benchmark artifacts.
+
+Three consumers, three formats (schemas documented in
+``docs/observability.md``):
+
+* **JSON trace document** (:func:`trace_document` / :func:`write_json`) —
+  the whole span forest nested as a tree plus the metrics snapshot; what
+  ``python -m repro trace ... --json PATH`` writes.
+* **JSONL span log** (:func:`write_jsonl`) — one flat JSON object per span
+  with ``id`` / ``parent`` links, convenient for grep/pandas-style
+  processing of large traces.
+* **Benchmark artifact** (:func:`write_bench_artifact`) — the
+  ``BENCH_E*.json`` files persisted by ``benchmarks/conftest.py``: recorded
+  experiment series rows, the lint-cleanliness header, and an optional
+  trace profile.
+
+Attribute values are rendered with ``default=str`` so exact ``Fraction``
+weights and tuple node labels survive as readable strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "span_to_dict",
+    "trace_document",
+    "write_json",
+    "write_jsonl",
+    "render_tree",
+    "profile_rows",
+    "render_profile",
+    "count_spans",
+    "write_bench_artifact",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def span_to_dict(span) -> dict:
+    """One span (and recursively its children) as a JSON-able dict."""
+    return {
+        "name": span.name,
+        "start": span.start,
+        "duration": span.duration,
+        "self_time": span.self_time,
+        "attrs": dict(span.attrs),
+        "counters": dict(span.counters),
+        "children": [span_to_dict(c) for c in span.children],
+    }
+
+
+def trace_document(tracer, command: Optional[str] = None) -> dict:
+    """The full JSON trace document for a finished tracer."""
+    return {
+        "version": TRACE_SCHEMA_VERSION,
+        "command": command,
+        "spans": [span_to_dict(s) for s in tracer.roots],
+        "metrics": tracer.metrics.snapshot(),
+    }
+
+
+def write_json(tracer, path, command: Optional[str] = None) -> Path:
+    """Write the JSON trace document to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(trace_document(tracer, command=command), indent=2, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _flat_spans(tracer) -> Iterator[Tuple[int, Optional[int], object]]:
+    """Depth-first ``(id, parent_id, span)`` triples; ids are DFS order."""
+    next_id = 0
+    stack = [(None, s) for s in reversed(tracer.roots)]
+    while stack:
+        parent_id, span = stack.pop()
+        span_id = next_id
+        next_id += 1
+        yield span_id, parent_id, span
+        stack.extend((span_id, c) for c in reversed(span.children))
+
+
+def write_jsonl(tracer, path) -> Path:
+    """Write one JSON object per span (``id``/``parent`` linked) to ``path``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for span_id, parent_id, span in _flat_spans(tracer):
+            fh.write(
+                json.dumps(
+                    {
+                        "id": span_id,
+                        "parent": parent_id,
+                        "name": span.name,
+                        "start": span.start,
+                        "duration": span.duration,
+                        "attrs": dict(span.attrs),
+                        "counters": dict(span.counters),
+                    },
+                    default=str,
+                )
+                + "\n"
+            )
+    return path
+
+
+def _format_attrs(span) -> str:
+    parts = [f"{k}={v}" for k, v in span.attrs.items()]
+    parts += [f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}" for k, v in span.counters.items()]
+    return " ".join(str(p) for p in parts)
+
+
+def render_tree(tracer, max_depth: Optional[int] = None) -> str:
+    """Indented text rendering of the span forest (durations in ms)."""
+    lines: List[str] = []
+
+    def visit(span, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        attrs = _format_attrs(span)
+        suffix = f"  [{attrs}]" if attrs else ""
+        hidden = ""
+        if max_depth is not None and depth == max_depth and span.children:
+            hidden = f"  (+{sum(1 for _ in _descendants(span))} nested spans)"
+        lines.append(f"{'  ' * depth}{span.name}  {span.duration * 1e3:.3f}ms{suffix}{hidden}")
+        if max_depth is None or depth < max_depth:
+            for child in span.children:
+                visit(child, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def _descendants(span) -> Iterator[object]:
+    for child in span.children:
+        yield child
+        yield from _descendants(child)
+
+
+def profile_rows(tracer) -> List[dict]:
+    """Aggregate spans by name: calls, total/self/mean time, hottest first.
+
+    "Hottest" orders by *self* time — time spent in a span excluding its
+    children — so a parent that merely contains expensive work does not
+    crowd out the work itself.
+    """
+    agg: Dict[str, dict] = {}
+    for span in tracer.iter_spans():
+        row = agg.setdefault(
+            span.name, {"name": span.name, "calls": 0, "total": 0.0, "self": 0.0}
+        )
+        row["calls"] += 1
+        row["total"] += span.duration
+        row["self"] += span.self_time
+    rows = sorted(agg.values(), key=lambda r: (-r["self"], -r["total"], r["name"]))
+    for row in rows:
+        row["mean"] = row["total"] / row["calls"] if row["calls"] else 0.0
+    return rows
+
+
+def render_profile(rows: List[dict], top: int = 10) -> str:
+    """Text table of the top-``top`` hottest span names."""
+    lines = [f"{'span':<28} {'calls':>7} {'self ms':>10} {'total ms':>10} {'mean ms':>10}"]
+    for row in rows[:top]:
+        lines.append(
+            f"{row['name']:<28} {row['calls']:>7} {row['self'] * 1e3:>10.3f} "
+            f"{row['total'] * 1e3:>10.3f} {row['mean'] * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def count_spans(tracer, name: str) -> int:
+    """How many recorded spans carry ``name``."""
+    return sum(1 for s in tracer.iter_spans() if s.name == name)
+
+
+def write_bench_artifact(
+    path,
+    experiment_id: str,
+    series: List[dict],
+    lint: Optional[dict] = None,
+    profile: Optional[List[dict]] = None,
+) -> Path:
+    """Persist one experiment's recorded series as a ``BENCH_E*.json`` file.
+
+    ``series`` is a list of ``{"experiment": <full name>, "rows": [...]}``
+    groups (several experiment tables can share an id like ``E1``); ``lint``
+    is the lint-cleanliness header of the run; ``profile`` an optional
+    span-name profile when the bench session ran under a tracer.
+    """
+    path = Path(path)
+    document = {
+        "version": TRACE_SCHEMA_VERSION,
+        "experiment_id": experiment_id,
+        "series": series,
+        "lint": lint,
+        "profile": profile,
+    }
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,155 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+A metric is identified by its name plus a (sorted) label set, e.g.
+``registry.counter("adversary.checked_runs", algorithm="greedy", delta=6)``.
+Repeated calls with the same name and labels return the same instrument, so
+instrumented code can re-fetch instead of threading instrument handles
+around.  :meth:`MetricsRegistry.snapshot` renders everything as plain
+JSON-able dictionaries for the exporters.
+
+The registry is deterministic given a deterministic workload: it never
+reads clocks or entropy; histograms store exact sums of whatever numbers
+are observed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        self.value += n
+
+
+class Gauge:
+    """A value that can move both ways (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values: count / sum / min / max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._counters.setdefault((name, _label_key(labels)), Counter())
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._gauges.setdefault((name, _label_key(labels)), Gauge())
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._histograms.setdefault((name, _label_key(labels)), Histogram())
+
+    def snapshot(self) -> Dict[str, List[dict]]:
+        """All instruments as JSON-able rows, sorted by (name, labels)."""
+
+        def rows(store, render):
+            return [
+                {"name": name, "labels": dict(labels), **render(metric)}
+                for (name, labels), metric in sorted(store.items())
+            ]
+
+        return {
+            "counters": rows(self._counters, lambda c: {"value": c.value}),
+            "gauges": rows(self._gauges, lambda g: {"value": g.value}),
+            "histograms": rows(
+                self._histograms,
+                lambda h: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                },
+            ),
+        }
+
+
+class _NullInstrument:
+    """One object that absorbs every instrument method, costlessly."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullMetricsRegistry:
+    """Registry façade returned by the no-op tracer: records nothing."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, List[dict]]:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+
+NULL_METRICS = _NullMetricsRegistry()

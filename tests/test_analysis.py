@@ -55,6 +55,52 @@ class TestClassifier:
         assert classify_growth(xs, ys) == "logarithmic"
 
 
+class TestClassifierDegenerateSeries:
+    """Edge cases the benches can produce: tiny, constant, or zero series."""
+
+    def test_exactly_constant_data_is_flat(self):
+        assert classify_growth([1, 2, 3, 4], [5, 5, 5, 5]) == "flat"
+
+    def test_all_zero_ys_are_flat_not_a_division_error(self):
+        # y_scale degenerates to 0; the classifier must not divide by it
+        assert classify_growth([1, 2, 3], [0, 0, 0]) == "flat"
+
+    def test_two_point_series_ties_go_to_logarithmic(self):
+        # both models fit two points perfectly (r^2 = 1); the tie resolves
+        # to the more conservative claim
+        assert classify_growth([2, 4], [1, 5]) == "logarithmic"
+
+    def test_two_point_constant_series_is_flat(self):
+        assert classify_growth([2, 4], [3, 3]) == "flat"
+
+    def test_single_point_raises(self):
+        with pytest.raises(ValueError):
+            classify_growth([1], [2])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            classify_growth([1, 2, 3], [1, 2])
+
+    def test_non_positive_x_propagates_fit_log_error(self):
+        # a growing series forces the log fit, which rejects x <= 0
+        with pytest.raises(ValueError):
+            classify_growth([0, 1, 2], [1, 5, 9])
+
+    def test_non_positive_x_still_classifies_flat_without_log_fit(self):
+        # the flat short-circuit never consults the log model, so x <= 0
+        # is acceptable for constant data
+        assert classify_growth([0, 1, 2], [4, 4, 4]) == "flat"
+
+    def test_negative_x_rejected_by_fit_log(self):
+        with pytest.raises(ValueError):
+            fit_log([-2, 1], [1, 2])
+
+    def test_fit_log_two_points_is_exact(self):
+        fit = fit_log([2, 8], [1, 3])
+        assert fit.slope == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+
 class TestMeasuredShapes:
     """The headline claims, asserted quantitatively on fresh measurements."""
 

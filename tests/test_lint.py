@@ -165,6 +165,64 @@ class TestDeterminismRule:
         assert lint_source("from random import Random\n", module="fixture") == []
 
 
+CLOCK_ONLY = """
+import time
+
+def now():
+    return time.perf_counter()
+"""
+
+CLOCK_AND_RANDOM = """
+import random
+import time
+
+def tainted():
+    return time.perf_counter() + random.random()
+"""
+
+
+class TestClockExemption:
+    """The observability tracer is a sanctioned clock reader — and only that.
+
+    Nothing the model computes may depend on a clock, so the exemption is
+    surgical: it relaxes the ``time`` checks alone, for exactly the modules
+    in ``LintConfig.clock_modules`` or carrying a ``# repro: clock`` marker.
+    """
+
+    def test_tracer_module_is_sanctioned_by_config(self):
+        assert "repro.obs.tracer" in DEFAULT_CONFIG.clock_modules
+        assert lint_source(CLOCK_ONLY, module="repro.obs.tracer") == []
+
+    def test_other_modules_still_flag_time(self):
+        findings = lint_source(CLOCK_ONLY, module="repro.obs.export")
+        assert rules_of(findings) == ["determinism"]
+        assert any("time" in f.message for f in findings)
+
+    def test_clock_marker_line_is_honoured(self):
+        marked = "# repro: clock\n" + CLOCK_ONLY
+        assert lint_source(marked, module="fixture") == []
+
+    def test_from_time_import_is_exempt_in_clock_module(self):
+        source = "from time import perf_counter\n"
+        assert lint_source(source, module="repro.obs.tracer") == []
+        assert rules_of(lint_source(source, module="fixture")) == ["determinism"]
+
+    def test_exemption_does_not_cover_other_entropy(self):
+        # a sanctioned clock module may read clocks but not ambient randomness
+        findings = lint_source(CLOCK_AND_RANDOM, module="repro.obs.tracer")
+        assert rules_of(findings) == ["determinism"]
+        assert all("random" in f.message for f in findings)
+
+    def test_shipped_tracer_is_the_only_time_reader_in_src(self):
+        # linting src with the exemption removed flags only the tracer module
+        from dataclasses import replace
+
+        strict = replace(DEFAULT_CONFIG, clock_modules=frozenset())
+        findings = lint_paths([SRC], config=strict, select=["determinism"])
+        offenders = {f.path for f in findings}
+        assert offenders == {str(SRC / "repro" / "obs" / "tracer.py")}
+
+
 # ---------------------------------------------------------------------------
 # rule: exact-arith
 # ---------------------------------------------------------------------------

@@ -177,3 +177,73 @@ class TestRunRounds:
         result = run_rounds(ECNetwork(cycle_graph(4)), CountsRounds(5), rounds=0)
         assert result.rounds == 0
         assert all(v == ("partial", 0) for v in result.outputs.values())
+
+    def test_message_counts_recorded_like_run(self):
+        """``run_rounds`` records per-round message counts just as ``run`` does."""
+        result = run_rounds(ECNetwork(cycle_graph(4)), CountsRounds(2), rounds=10)
+        assert result.message_counts == [8, 8]  # 4 nodes x 2 ports, both rounds
+
+    def test_message_counts_respect_the_budget(self):
+        result = run_rounds(ECNetwork(cycle_graph(4)), CountsRounds(10), rounds=3)
+        assert len(result.message_counts) == 3
+        assert all(c == 8 for c in result.message_counts)
+
+    def test_message_counts_empty_for_zero_rounds(self):
+        result = run_rounds(ECNetwork(cycle_graph(4)), CountsRounds(5), rounds=0)
+        assert result.message_counts == []
+
+
+class TestTracing:
+    """Optional observability: the runtime reports spans when given a tracer."""
+
+    def test_run_span_attrs(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        result = run(ECNetwork(cycle_graph(4)), CountsRounds(2), tracer=tracer)
+        (span,) = tracer.find("local.run")
+        assert span.attrs["model"] == "EC"
+        assert span.attrs["nodes"] == 4
+        assert span.attrs["rounds"] == result.rounds
+        assert span.attrs["halted"] is True
+        assert span.attrs["messages"] == sum(result.message_counts)
+
+    def test_run_rounds_span_reports_budget(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        run_rounds(ECNetwork(cycle_graph(4)), CountsRounds(10), rounds=3, tracer=tracer)
+        (span,) = tracer.find("local.run_rounds")
+        assert span.attrs["budget"] == 3
+        assert span.attrs["rounds"] == 3
+        assert len(tracer.find("local.round")) == 3
+
+    def test_round_spans_carry_message_and_state_observations(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        run(ECNetwork(cycle_graph(4)), CountsRounds(2), tracer=tracer)
+        rounds = tracer.find("local.round")
+        assert [s.attrs["round"] for s in rounds] == [0, 1]
+        assert all(s.attrs["messages"] == 8 for s in rounds)
+        assert all(s.attrs["state_size"] > 0 for s in rounds)
+
+    def test_metrics_counters_accumulate(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        run(ECNetwork(cycle_graph(4)), CountsRounds(2), tracer=tracer)
+        counters = {c["name"]: c["value"] for c in tracer.metrics.snapshot()["counters"]}
+        assert counters["local.runs"] == 1
+        assert counters["local.rounds"] == 2
+        assert counters["local.messages"] == 16
+
+    def test_disabled_tracer_changes_nothing(self):
+        """The default (no tracer) path returns identical results."""
+        plain = run(ECNetwork(cycle_graph(4)), CountsRounds(3))
+        from repro.obs import Tracer
+
+        traced = run(ECNetwork(cycle_graph(4)), CountsRounds(3), tracer=Tracer())
+        assert plain.outputs == traced.outputs
+        assert plain.rounds == traced.rounds
+        assert plain.message_counts == traced.message_counts

@@ -1,0 +1,74 @@
+"""Tests for the ``repro trace`` CLI (the ISSUE acceptance command included)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTraceAdversary:
+    def test_acceptance_command(self, tmp_path, capsys):
+        """``repro trace adversary --delta 6 --json out.json`` exits 0 and the
+        dump contains at least Delta-2 adversary.step spans."""
+        out = tmp_path / "out.json"
+        assert main(["trace", "adversary", "--delta", "6", "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 1
+
+        def walk(spans):
+            for s in spans:
+                yield s
+                yield from walk(s["children"])
+
+        names = [s["name"] for s in walk(doc["spans"])]
+        assert names.count("adversary.step") >= 4  # Delta - 2
+        stdout = capsys.readouterr().out
+        assert "adversary steps" in stdout
+        assert "adversary.run" in stdout
+
+    def test_jsonl_dump_is_one_object_per_line(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "adversary", "--delta", "4", "--jsonl", str(out)]) == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert rows, "expected at least one span row"
+        assert all({"id", "parent", "name"} <= set(r) for r in rows)
+
+    def test_json_schema_fields(self, tmp_path):
+        out = tmp_path / "out.json"
+        main(["trace", "adversary", "--delta", "4", "--json", str(out)])
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"version", "command", "spans", "metrics"}
+        span = doc["spans"][0]
+        assert {"name", "start", "duration", "self_time", "attrs", "counters", "children"} <= set(span)
+        counter_names = {c["name"] for c in doc["metrics"]["counters"]}
+        assert "adversary.steps" in counter_names
+
+
+class TestTraceDemoAndTheorem:
+    def test_demo_exits_zero(self, capsys):
+        assert main(["trace", "demo", "--delta", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "trace.demo" in out
+
+    def test_theorem_po_chain(self, capsys):
+        assert main(["trace", "theorem", "--delta", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem.refute" in out
+
+    def test_profile_flag_prints_hottest_spans(self, capsys):
+        assert main(["trace", "demo", "--delta", "4", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "self ms" in out  # the profile table header
+
+    def test_max_depth_limits_tree(self, capsys):
+        assert main(["trace", "adversary", "--delta", "4", "--max-depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "adversary.run" in out
+        assert "adversary.unfold" not in out  # depth 2, cut off
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nonsense"])
