@@ -37,6 +37,29 @@ def test_adversary_depth_vs_delta_greedy(benchmark, record, delta):
     )
 
 
+def test_engine_sweep_e1_grid(benchmark, record, engine_sweep):
+    """The whole E1 grid through the experiment engine, one benched sweep.
+
+    Covers the same (algorithm, Delta) cells as the per-cell benches above
+    but exercises the production path — sharding, canonical-form caching,
+    merged tracing — and records the engine's own series row.
+    """
+    from repro.engine import e1_grid
+
+    result = benchmark.pedantic(lambda: engine_sweep(e1_grid()), rounds=1, iterations=1)
+    assert all(row["status"] == "ok" for row in result.rows)
+    assert all(row["witness_depth"] == row["expected_depth"] for row in result.rows)
+    record(
+        "E1 engine sweep (sharded + cached)",
+        cells=len(result.rows),
+        workers=result.workers,
+        cache_hits=result.cache.hits,
+        cache_misses=result.cache.misses,
+        hit_rate=f"{result.cache_hit_rate:.0%}",
+        all_depths_linear="yes",
+    )
+
+
 @pytest.mark.parametrize("delta", [3, 4, 5, 6])
 def test_adversary_depth_vs_delta_proposal(benchmark, record, delta):
     witness = benchmark.pedantic(

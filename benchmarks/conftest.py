@@ -84,6 +84,34 @@ def record():
     return _record
 
 
+@pytest.fixture
+def engine_sweep():
+    """Run a grid through :func:`repro.engine.run_sweep`, optionally parallel.
+
+    The opt-in parallel path: ``REPRO_BENCH_WORKERS=N`` (N >= 2) shards the
+    grid across a process pool AND replays it serially, asserting the two
+    row sets serialise byte-identically — benches recorded from a parallel
+    run are guaranteed to be the rows a serial run would have produced.
+    Unset (or < 2), the sweep just runs in-process.
+    """
+    from repro.engine import run_sweep
+
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+    def _sweep(grid, **kwargs):
+        result = run_sweep(grid, workers=workers, **kwargs)
+        if workers >= 2:
+            serial = run_sweep(grid, workers=0, **kwargs)
+            parallel_bytes = json.dumps(result.rows, sort_keys=True).encode()
+            serial_bytes = json.dumps(serial.rows, sort_keys=True).encode()
+            assert parallel_bytes == serial_bytes, (
+                "parallel sweep rows diverge from the serial run"
+            )
+        return result
+
+    return _sweep
+
+
 def _experiment_id(experiment: str) -> str:
     """Filename-safe id of an experiment: its first token (``E1``, ``E10``)."""
     token = experiment.split()[0] if experiment.split() else "misc"

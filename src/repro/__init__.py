@@ -16,7 +16,11 @@ The package turns the paper's lower-bound proof into running code:
   order (Appendix A) and derandomisation (Appendix B);
 * :mod:`repro.lint` — the model-contract static analyzer (locality,
   determinism, exact arithmetic, frozen views), paired with the runtime
-  locality sanitizer in :mod:`repro.local.sanitize`.
+  locality sanitizer in :mod:`repro.local.sanitize`;
+* :mod:`repro.engine` — the batched, process-parallel experiment engine
+  (sharded sweeps, canonical-form caching, resumable result stores);
+* :mod:`repro.api` — the stable keyword-first facade (``run`` / ``refute``
+  / ``sweep``) new code should import.
 
 Quickstart::
 
@@ -33,14 +37,16 @@ Quickstart::
     assert witness.achieved_depth == 3      # = Delta - 2
 """
 
-from . import analysis, coloring, core, graphs, lint, local, matching, problems
+from . import analysis, api, coloring, core, engine, graphs, lint, local, matching, problems
 
 __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "api",
     "coloring",
     "core",
+    "engine",
     "graphs",
     "lint",
     "local",

@@ -1,0 +1,160 @@
+"""The stable public surface of :mod:`repro`.
+
+Three verbs cover the repository's workflows:
+
+* :func:`run` — execute a distributed algorithm on a graph (or prebuilt
+  network) under the LOCAL runtime, optionally bounded to an exact round
+  budget, sanitized, and traced;
+* :func:`refute` — test a claimed run-time against the Section 4 adversary,
+  optionally stacking the Section 5 simulation chain (EC ⇐ PO ⇐ OI ⇐ ID)
+  in front of a base machine;
+* :func:`sweep` — run a declarative grid of (algorithm, ∆, chain, seed)
+  cells through the parallel experiment engine (:mod:`repro.engine`).
+
+Everything here is re-exported keyword-first and model-agnostic: ``run``
+builds the right network adapter from the algorithm's declared model, and
+``refute`` accepts either a ready EC-weight algorithm or a ``chain`` name.
+The lower-level modules remain importable, but new code (and the CLI)
+should go through this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from .core.theorem import Refutation, chain_from_name
+from .core.theorem import refute as _theorem_refute
+from .graphs.digraph import POGraph
+from .graphs.multigraph import ECGraph
+from .local.algorithm import DistributedAlgorithm, ECWeightAlgorithm
+from .local.runtime import (
+    ECNetwork,
+    IDNetwork,
+    Network,
+    PONetwork,
+    RunResult,
+    run as _run,
+    run_rounds as _run_rounds,
+)
+
+__all__ = ["run", "refute", "sweep"]
+
+_NETWORKS = {"EC": ECNetwork, "PO": PONetwork, "ID": IDNetwork}
+
+
+def _as_network(algorithm: DistributedAlgorithm, graph: Any, globals_: Optional[Dict[str, Any]]) -> Network:
+    """Wrap ``graph`` in the network adapter matching the algorithm's model."""
+    if isinstance(graph, Network):
+        if globals_:
+            raise ValueError("pass globals to the Network constructor, not to run()")
+        return graph
+    if isinstance(graph, ECGraph):
+        network_cls = ECNetwork
+    elif isinstance(graph, POGraph):
+        network_cls = PONetwork
+    else:
+        network_cls = _NETWORKS.get(algorithm.model, IDNetwork)
+    return network_cls(graph, globals_=globals_)
+
+
+def run(
+    algorithm: DistributedAlgorithm,
+    graph: Any,
+    *,
+    rounds: Optional[int] = None,
+    max_rounds: int = 10_000,
+    tracer=None,
+    sanitize: bool = False,
+    sanitize_mode: str = "raise",
+    globals: Optional[Dict[str, Any]] = None,  # noqa: A002 - deliberate public name
+) -> RunResult:
+    """Execute ``algorithm`` on ``graph`` and return the :class:`RunResult`.
+
+    ``graph`` may be an :class:`ECGraph`, a :class:`POGraph`, a simple
+    networkx graph (ID model) or an already-built :class:`Network`; the
+    adapter is chosen from the algorithm's declared model.  With ``rounds``
+    set, exactly that many communication rounds execute and non-halted
+    nodes are snapshotted (:func:`repro.local.runtime.run_rounds`);
+    otherwise the run continues until all nodes output or ``max_rounds``.
+
+    ``sanitize`` wraps every node context in the locality sanitizer;
+    ``tracer`` attaches a :class:`repro.obs.Tracer` (defaults to the
+    ambient one).  ``globals`` seeds the network's shared global knowledge
+    (e.g. ``{"delta": 4}``) and must be ``None`` when ``graph`` is already
+    a network.
+    """
+    network = _as_network(algorithm, graph, globals)
+    if rounds is not None:
+        return _run_rounds(
+            network,
+            algorithm,
+            rounds,
+            sanitize=sanitize,
+            sanitize_mode=sanitize_mode,
+            tracer=tracer,
+        )
+    return _run(
+        network,
+        algorithm,
+        max_rounds=max_rounds,
+        sanitize=sanitize,
+        sanitize_mode=sanitize_mode,
+        tracer=tracer,
+    )
+
+
+def refute(
+    algorithm: Union[ECWeightAlgorithm, DistributedAlgorithm],
+    delta: int,
+    *,
+    claimed_rounds: int = 1,
+    chain: Optional[str] = None,
+    deep_verify: bool = False,
+    tracer=None,
+) -> Refutation:
+    """Test "``algorithm`` computes maximal FM in ``claimed_rounds`` rounds
+    on degree-``delta`` EC-graphs" with the Section 4 adversary.
+
+    ``algorithm`` is either a ready EC-weight algorithm (``chain=None``) or
+    a base state machine to stack the named simulation chain in front of:
+    ``chain="ec"`` presents it directly, ``"po"``/``"oi"``/``"id"`` add the
+    Section 5 simulations (see :func:`repro.core.theorem.chain_from_name`).
+    Returns a machine-checked :class:`Refutation`.
+    """
+    if chain is not None:
+        algorithm = chain_from_name(chain, t=delta, base=algorithm)
+    return _theorem_refute(
+        algorithm, claimed_rounds, delta, deep_verify=deep_verify, tracer=tracer
+    )
+
+
+def sweep(
+    grid=None,
+    *,
+    workers: int = 0,
+    out: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    resume: bool = False,
+    tracer=None,
+):
+    """Run a grid of experiment cells through the parallel engine.
+
+    ``grid`` is a :class:`repro.engine.GridSpec`, a mapping accepted by
+    :meth:`GridSpec.from_mapping`, or ``None`` for the paper's E1 grid.
+    Returns a :class:`repro.engine.SweepResult`; see :mod:`repro.engine`
+    for sharding, caching and resume semantics.
+    """
+    from .engine import GridSpec, run_sweep
+
+    if grid is not None and not isinstance(grid, GridSpec):
+        grid = GridSpec.from_mapping(grid)
+    return run_sweep(
+        grid,
+        workers=workers,
+        out_dir=out,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        resume=resume,
+        tracer=tracer,
+    )

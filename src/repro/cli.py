@@ -15,7 +15,16 @@ Subcommands (``python -m repro <subcommand> --help`` for details):
                   over source trees, or demo the runtime locality sanitizer;
 * ``trace``     — run a workload under the ``repro.obs`` tracer and print
                   the span tree (optionally dump JSON/JSONL traces and a
-                  hottest-spans profile).
+                  hottest-spans profile);
+* ``sweep``     — run a declarative (algorithm × Delta × chain × seed) grid
+                  through the parallel experiment engine (``repro.engine``),
+                  with canonical-form caching and resumable result shards;
+* ``verify``    — test a claimed round count through the ``repro.api``
+                  facade, optionally stacking a Section 5 chain.
+
+Subcommands share one flag vocabulary — ``--json`` (bare prints JSON to
+stdout, with a PATH writes the file), ``--delta``, ``--chain``, ``--out`` —
+wired through :func:`add_common_options`.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from .core.adversary import run_adversary
 from .core.canonical_order import reduce_word, tree_sort_key
 from .core.theorem import refute
 from .core.witness import AlgorithmFailure
+from .engine.grid import ALGORITHMS
 from .graphs.families import (
     caterpillar,
     complete_graph,
@@ -40,20 +50,68 @@ from .graphs.families import (
     star_graph,
 )
 from .matching.fm import fm_from_node_outputs
-from .matching.greedy_color import greedy_color_algorithm
-from .matching.naive import DegreeSplitFM, ZeroFM
-from .matching.proposal import proposal_algorithm
 from .matching.verify import verify_distributed
 from .matching.vertex_cover import is_vertex_cover, vertex_cover_quality
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_common_options"]
 
-ALGORITHMS = {
-    "greedy": greedy_color_algorithm,
-    "proposal": proposal_algorithm,
-    "zero": ZeroFM,
-    "degree-split": DegreeSplitFM,
-}
+CHAIN_CHOICES = ("ec", "po", "oi", "id")
+
+
+def add_common_options(
+    parser: argparse.ArgumentParser,
+    *,
+    json_flag: bool = False,
+    delta: Optional[int] = None,
+    chain: Optional[str] = None,
+    out: bool = False,
+) -> argparse.ArgumentParser:
+    """Attach the shared flag vocabulary to a subcommand parser.
+
+    Every subcommand that wants machine-readable output, a degree bound, a
+    Section 5 chain or an output directory spells them the same way:
+
+    * ``--json [PATH]`` — bare prints JSON to stdout, with a PATH writes it;
+    * ``--delta N`` — maximum degree (default per subcommand);
+    * ``--chain {ec,po,oi,id}`` — how deep a simulation chain to stack;
+    * ``--out DIR`` — directory for result artifacts.
+    """
+    if json_flag:
+        parser.add_argument(
+            "--json",
+            nargs="?",
+            const=True,
+            default=None,
+            metavar="PATH",
+            help="machine-readable output (bare: print to stdout; PATH: write file)",
+        )
+    if delta is not None:
+        parser.add_argument(
+            "--delta", type=int, default=delta, help=f"maximum degree (default {delta})"
+        )
+    if chain is not None:
+        parser.add_argument(
+            "--chain",
+            choices=list(CHAIN_CHOICES),
+            default=chain,
+            help="simulation chain to stack in front of the base machine "
+            "(ec: none; po: EC<=PO; oi: EC<=PO<=OI; id: the full "
+            f"EC<=PO<=OI<=ID; default {chain})",
+        )
+    if out:
+        parser.add_argument(
+            "--out", metavar="DIR", default=None, help="directory for result artifacts"
+        )
+    return parser
+
+
+def _emit_json(args, payload: str) -> None:
+    """Honour the shared ``--json`` flag: stdout when bare, a file when PATH."""
+    if isinstance(args.json, str):
+        Path(args.json).write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote JSON to {args.json}")
+    else:
+        print(payload)
 
 
 def _make_graph(family: str, n: int, delta: int, seed: int):
@@ -132,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["src"],
         help="files or directories to lint (default: src)",
     )
-    lint.add_argument("--json", action="store_true", help="machine-readable report")
+    add_common_options(lint, json_flag=True)
     lint.add_argument(
         "--sanitize-demo",
         action="store_true",
@@ -151,17 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
         "adversary: the Section 4 construction; "
         "theorem: the EC<=PO chain fed to the adversary (Section 5)",
     )
-    trace.add_argument("--delta", type=int, default=5)
     trace.add_argument("--algorithm", default="greedy")
-    trace.add_argument(
-        "--chain",
-        choices=["po", "oi", "id"],
-        default="po",
-        help="how deep a Section 5 chain the theorem target builds "
-        "(po: EC<=PO; oi: EC<=PO<=OI; id: the full EC<=PO<=OI<=ID; "
-        "deeper chains are much slower)",
-    )
-    trace.add_argument("--json", metavar="PATH", help="write the JSON trace document")
+    add_common_options(trace, json_flag=True, delta=5, chain="po")
     trace.add_argument("--jsonl", metavar="PATH", help="write a flat JSONL span log")
     trace.add_argument(
         "--profile", action="store_true", help="also print the hottest spans"
@@ -175,6 +224,64 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="span-tree print depth (the JSON export is always complete)",
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an (algorithm x Delta x chain x seed) grid through the "
+        "parallel experiment engine",
+    )
+    sweep.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated algorithm names (default: greedy,proposal)",
+    )
+    sweep.add_argument(
+        "--deltas",
+        default=None,
+        help="Delta values, comma-separated or A..B (default: 3..8)",
+    )
+    sweep.add_argument(
+        "--seeds", default=None, help="comma-separated seeds (default: 0)"
+    )
+    add_common_options(sweep, json_flag=True, chain="ec", out=True)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0: run in-process; default 0)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk canonical-form cache (default: $REPRO_CACHE_DIR)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the canonical-form cache"
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in --out's result shards",
+    )
+    sweep.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the 2-minute smoke grid (greedy+proposal, Delta in {3,4})",
+    )
+
+    ver = sub.add_parser(
+        "verify",
+        help="verify a claimed round count through the repro.api facade",
+    )
+    ver.add_argument(
+        "--algorithm",
+        default=None,
+        help="registered algorithm to test (default: greedy on the 'ec' "
+        "chain; deeper chains always run the proposal dynamics)",
+    )
+    ver.add_argument("--claimed-rounds", type=int, required=True)
+    add_common_options(ver, json_flag=True, delta=5, chain="ec")
 
     return parser
 
@@ -257,9 +364,9 @@ def _cmd_exhaustive(args) -> int:
 
 def _sanitize_demo() -> int:
     """Show the locality sanitizer catching a cheat and passing an honest run."""
+    from .api import run
     from .graphs.families import path_graph
     from .local.context import NodeContext
-    from .local.runtime import ECNetwork, run
     from .local.sanitize import LocalityViolation
     from .matching.proposal import ProposalFM
 
@@ -273,7 +380,7 @@ def _sanitize_demo() -> int:
 
     g = path_graph(5)
     try:
-        run(ECNetwork(g), CheatingFM("EC"), sanitize=True)
+        run(CheatingFM("EC"), g, sanitize=True)
     except LocalityViolation as violation:
         print(f"cheating algorithm caught: {violation}")
         caught = True
@@ -281,7 +388,7 @@ def _sanitize_demo() -> int:
         print("ERROR: the cheating algorithm was not caught")
         caught = False
 
-    result = run(ECNetwork(g), ProposalFM("EC"), sanitize=True)
+    result = run(ProposalFM("EC"), g, sanitize=True)
     log = result.access_log
     reads = ", ".join(f"{attr}={n}" for attr, n in sorted(log.reads.items()))
     print(f"honest algorithm clean: {log.clean} (model {log.model}; reads: {reads})")
@@ -298,7 +405,10 @@ def _cmd_lint(args) -> int:
         print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
     findings = lint_paths(args.paths)
-    print(render_json(findings) if args.json else render_text(findings))
+    if args.json is not None:
+        _emit_json(args, render_json(findings))
+    else:
+        print(render_text(findings))
     return 1 if findings else 0
 
 
@@ -333,21 +443,9 @@ def _cmd_trace(args) -> int:
             else:
                 print(witness.conclusion())
         else:  # theorem: the Section 5 chain in front of the adversary
-            from .core.sim_po_oi import SymmetricOIAdapter
-            from .core.theorem import chain_id_to_ec, chain_oi_to_ec, chain_po_to_ec
-            from .local.algorithm import SimulatedPOWeights
-            from .matching.proposal import ProposalFM
+            from .core.theorem import chain_from_name
 
-            if args.chain == "po":
-                ec = chain_po_to_ec(SimulatedPOWeights(ProposalFM("PO")))
-            elif args.chain == "oi":
-                ec = chain_oi_to_ec(SymmetricOIAdapter(ProposalFM("PO"), t=args.delta))
-            else:
-                ec = chain_id_to_ec(
-                    ProposalFM("ID"),
-                    t=args.delta,
-                    id_pool=lambda n: [1000 + 7 * i for i in range(n)],
-                )
+            ec = chain_from_name(args.chain, t=args.delta)
             result = refute(ec, claimed_rounds=1, delta=args.delta, tracer=tracer)
             print(result.summary())
 
@@ -358,13 +456,113 @@ def _cmd_trace(args) -> int:
     if args.profile:
         print("\nhottest spans (by self time):")
         print(render_profile(profile_rows(tracer), top=args.top))
-    if args.json:
+    if isinstance(args.json, str):
         path = write_json(tracer, args.json, command=f"trace {args.target}")
         print(f"\nwrote JSON trace to {path}")
+    elif args.json:
+        import json as json_
+
+        from .obs import trace_document
+
+        print(json_.dumps(trace_document(tracer, command=f"trace {args.target}")))
     if args.jsonl:
         path = write_jsonl(tracer, args.jsonl)
         print(f"wrote JSONL span log to {path}")
     return 0
+
+
+def _parse_ints(spec: str, flag: str) -> tuple:
+    """Parse a shared integer-list spec: ``"3,4,5"`` or a range ``"3..8"``."""
+    spec = spec.strip()
+    if ".." in spec:
+        lo, _, hi = spec.partition("..")
+        try:
+            return tuple(range(int(lo), int(hi) + 1))
+        except ValueError:
+            raise SystemExit(f"{flag}: bad range {spec!r} (want A..B)") from None
+    try:
+        return tuple(int(part) for part in spec.split(","))
+    except ValueError:
+        raise SystemExit(f"{flag}: bad value {spec!r} (want N,N,... or A..B)") from None
+
+
+def _cmd_sweep(args) -> int:
+    import json as json_
+
+    from .engine import GridSpec, e1_grid, run_sweep, smoke_grid
+
+    if args.smoke:
+        grid = smoke_grid()
+    elif args.algorithms is None and args.deltas is None and args.seeds is None and args.chain == "ec":
+        grid = e1_grid()
+    else:
+        base = e1_grid()
+        grid = GridSpec(
+            algorithms=tuple(args.algorithms.split(",")) if args.algorithms else base.algorithms,
+            deltas=_parse_ints(args.deltas, "--deltas") if args.deltas else base.deltas,
+            chains=(args.chain,),
+            seeds=_parse_ints(args.seeds, "--seeds") if args.seeds else base.seeds,
+        )
+    try:
+        result = run_sweep(
+            grid,
+            workers=args.workers,
+            out_dir=args.out,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            resume=args.resume,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro sweep: {error}") from None
+    print(result.summary())
+    if args.out:
+        print(f"results under {args.out} (summary.json, trace.json, shard-*.jsonl)")
+    if args.json is not None:
+        payload = {
+            "grid": grid.as_dict(),
+            "workers": result.workers,
+            "resumed": result.resumed,
+            "cache": result.cache.as_dict(),
+            "rows": result.rows,
+        }
+        _emit_json(args, json_.dumps(payload, sort_keys=True))
+    refuted = sum(1 for row in result.rows if row["status"] == "refuted")
+    return 0 if refuted == 0 else 1
+
+
+def _cmd_verify(args) -> int:
+    import json as json_
+
+    from .api import refute as api_refute
+
+    if args.chain == "ec":
+        result = api_refute(
+            _make_algorithm(args.algorithm or "greedy"),
+            args.delta,
+            claimed_rounds=args.claimed_rounds,
+        )
+    else:
+        if args.algorithm not in (None, "proposal"):
+            raise SystemExit(
+                f"repro verify: chain {args.chain!r} runs the proposal dynamics "
+                f"(the one machine with PO/ID presentations); drop --algorithm "
+                f"or pass --algorithm proposal"
+            )
+        result = api_refute(
+            None, args.delta, claimed_rounds=args.claimed_rounds, chain=args.chain
+        )
+    print(result.summary())
+    if args.json is not None:
+        payload = {
+            "algorithm": result.algorithm,
+            "chain": args.chain,
+            "claimed_rounds": result.claimed_rounds,
+            "delta": result.delta,
+            "kind": result.kind,
+            "summary": result.summary(),
+        }
+        _emit_json(args, json_.dumps(payload, sort_keys=True))
+    return 0 if result.kind != "consistent" else 2
 
 
 def _cmd_order(args) -> int:
@@ -403,6 +601,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "exhaustive": _cmd_exhaustive,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
+        "sweep": _cmd_sweep,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args)
 

@@ -59,6 +59,8 @@ def checked_run(
     g: ECGraph,
     require_saturation: bool = True,
     tracer=None,
+    delta: Optional[int] = None,
+    level: Optional[int] = None,
 ) -> NodeOutputs:
     """Run ``algorithm`` on ``g`` and verify its output is a maximal FM.
 
@@ -68,14 +70,24 @@ def checked_run(
     Figure 4 refuting lift is attached when one exists.
 
     Emits one ``adversary.checked_run`` span (graph size, Lemma-2 verdict)
-    on the given or ambient tracer.
+    on the given or ambient tracer.  When the run happens inside a
+    construction, ``delta`` and ``level`` stamp the span with the
+    originating ``(algorithm, delta, level)`` triple, so a verdict pulled
+    out of a merged parallel sweep trace is attributable without its
+    positional context (which step of which ladder in which worker).
     """
     tracer = tracer if tracer is not None else current_tracer()
+    attribution = {}
+    if delta is not None:
+        attribution["delta"] = delta
+    if level is not None:
+        attribution["level"] = level
     with tracer.span(
         "adversary.checked_run",
         algorithm=algorithm.name,
         nodes=g.num_nodes(),
         edges=g.num_edges(),
+        **attribution,
     ) as span:
         try:
             outputs = algorithm.run_on(g)
@@ -185,7 +197,7 @@ def run_adversary(
         # --------------------------------------------------------------
         with tracer.span("adversary.step", index=0, side="base") as base_span:
             graph_g = single_node_with_loops(delta, node="r")
-            out_g = checked_run(algorithm, graph_g, tracer=tracer)
+            out_g = checked_run(algorithm, graph_g, tracer=tracer, delta=delta, level=0)
             node_g = "r"
             positive = [
                 e for e in graph_g.loops_at(node_g) if Fraction(out_g[node_g][e.color]) > 0
@@ -198,7 +210,7 @@ def run_adversary(
             removed = positive[0]
             graph_h = graph_g.copy()
             graph_h.remove_edge(removed.eid)
-            out_h = checked_run(algorithm, graph_h, tracer=tracer)
+            out_h = checked_run(algorithm, graph_h, tracer=tracer, delta=delta, level=0)
             node_h = node_g
             color = _first_disagreeing_color(
                 {c: w for c, w in out_g[node_g].items() if c != removed.color},
@@ -240,14 +252,16 @@ def run_adversary(
 
                 out_gg = _lifted_outputs(out_g, gg)
                 if deep_verify:
-                    fresh = checked_run(algorithm, gg, tracer=tracer)
+                    fresh = checked_run(
+                        algorithm, gg, tracer=tracer, delta=delta, level=i + 1
+                    )
                     if _normalise(fresh) != _normalise(out_gg):
                         raise AlgorithmFailure(
                             f"{algorithm.name} is not lift-invariant: its outputs on the "
                             f"unfolded 2-lift differ from the base graph's",
                             graph=gg,
                         )
-                out_gh = checked_run(algorithm, gh, tracer=tracer)
+                out_gh = checked_run(algorithm, gh, tracer=tracer, delta=delta, level=i + 1)
 
                 w_e = Fraction(out_g[node_g][color])
                 w_f = Fraction(out_h[node_h][color])
@@ -272,7 +286,9 @@ def run_adversary(
                         hh, _, _ = unfold_loop(graph_h, f.eid)
                     out_hh = _lifted_outputs(out_h, hh)
                     if deep_verify:
-                        fresh = checked_run(algorithm, hh, tracer=tracer)
+                        fresh = checked_run(
+                            algorithm, hh, tracer=tracer, delta=delta, level=i + 1
+                        )
                         if _normalise(fresh) != _normalise(out_hh):
                             raise AlgorithmFailure(
                                 f"{algorithm.name} is not lift-invariant on the unfolded "

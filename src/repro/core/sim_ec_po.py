@@ -40,13 +40,15 @@ class ECFromPO(ECWeightAlgorithm):
     def run_on(self, g: ECGraph) -> Dict[Node, Dict[Color, Fraction]]:
         from ..obs.tracer import current_tracer
 
-        with current_tracer().span(
+        tracer = current_tracer()
+        with tracer.span(
             "sim.ec_from_po", algorithm=self.name, nodes=g.num_nodes(), edges=g.num_edges()
         ) as span:
             doubled = po_double_from_ec(g)
             po_out = self.po_algorithm.run_on(doubled)
             self._last_rounds = self.po_algorithm.rounds_used(doubled)
             span.set(rounds=self._last_rounds)
+            tracer.metrics.counter("sim.layer_runs", layer="ec_from_po", algorithm=self.name).inc()
         ec_out: Dict[Node, Dict[Color, Fraction]] = {}
         for v in g.nodes():
             slots = po_out[v]

@@ -280,7 +280,9 @@ class OIFromID(OIAlgorithm):
     def evaluate(self, tree: POGraph, root: Node, ordered_nodes: List[Node]) -> Dict[Slot, Fraction]:
         from ..obs.tracer import current_tracer
 
-        with current_tracer().span(
+        tracer = current_tracer()
+        tracer.metrics.counter("sim.layer_runs", layer="oi_from_id", algorithm=self.name).inc()
+        with tracer.span(
             "sim.oi_from_id",
             algorithm=self.name,
             neighbourhood=len(ordered_nodes),

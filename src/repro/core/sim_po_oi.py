@@ -82,7 +82,9 @@ class POFromOI(POWeightAlgorithm):
 
         t = self.oi_algorithm.t
         outputs: Dict[Node, Dict[Slot, Fraction]] = {}
-        with current_tracer().span(
+        tracer = current_tracer()
+        tracer.metrics.counter("sim.layer_runs", layer="po_from_oi", algorithm=self.name).inc()
+        with tracer.span(
             "sim.po_from_oi", algorithm=self.name, nodes=g.num_nodes(), t=t
         ) as span:
             for v in g.nodes():

@@ -33,7 +33,14 @@ from .sim_oi_id import OIFromID
 from .sim_po_oi import OIAlgorithm, POFromOI
 from .witness import AlgorithmFailure, LowerBoundWitness, StepWitness
 
-__all__ = ["Refutation", "chain_id_to_ec", "chain_oi_to_ec", "chain_po_to_ec", "refute"]
+__all__ = [
+    "Refutation",
+    "chain_from_name",
+    "chain_id_to_ec",
+    "chain_oi_to_ec",
+    "chain_po_to_ec",
+    "refute",
+]
 
 
 @dataclass
@@ -103,6 +110,46 @@ def chain_id_to_ec(
     """
     oi = OIFromID(id_algorithm, t, id_pool, globals_factory=globals_factory)
     return ECFromPO(POFromOI(oi))
+
+
+def chain_from_name(
+    chain: str,
+    *,
+    t: int,
+    base: Optional[DistributedAlgorithm] = None,
+    id_pool=None,
+) -> ECWeightAlgorithm:
+    """Build the chain named ``chain`` in front of a base machine.
+
+    The shared vocabulary of the CLI (``--chain``), :func:`repro.api.refute`
+    and the sweep engine: ``"ec"`` runs the machine directly, ``"po"`` /
+    ``"oi"`` / ``"id"`` stack one, two or all three Section 5 simulations in
+    front of it.  ``base`` defaults to the proposal dynamics in the model
+    the chain starts from (the one shipped machine with EC, PO and ID
+    presentations); ``t`` bounds the OI/ID simulations' view radius and
+    ``id_pool`` overrides Lemma 7's identifier pool for the full chain.
+    """
+    from ..local.algorithm import SimulatedECWeights, SimulatedPOWeights
+    from ..matching.proposal import ProposalFM
+    from .sim_po_oi import SymmetricOIAdapter
+
+    if chain == "ec":
+        return SimulatedECWeights(base if base is not None else ProposalFM("EC"))
+    if chain == "po":
+        return chain_po_to_ec(
+            SimulatedPOWeights(base if base is not None else ProposalFM("PO"))
+        )
+    if chain == "oi":
+        return chain_oi_to_ec(
+            SymmetricOIAdapter(base if base is not None else ProposalFM("PO"), t=t)
+        )
+    if chain == "id":
+        if id_pool is None:
+            id_pool = lambda n: [1000 + 7 * i for i in range(n)]  # noqa: E731
+        return chain_id_to_ec(
+            base if base is not None else ProposalFM("ID"), t=t, id_pool=id_pool
+        )
+    raise ValueError(f"unknown chain {chain!r}; choose from ('ec', 'po', 'oi', 'id')")
 
 
 def refute(

@@ -1,0 +1,42 @@
+"""Parallel sharded experiment engine.
+
+``repro.engine`` turns the serial per-experiment scripts into a batched,
+process-parallel sweep:
+
+* :mod:`repro.engine.grid` — declarative job grids (algorithm × Delta ×
+  chain × seed) expanded into deterministic :class:`~repro.engine.grid.Cell`
+  jobs;
+* :mod:`repro.engine.cache` — a content-addressed canonical-form cache
+  (in-memory LRU + optional on-disk store under ``$REPRO_CACHE_DIR``)
+  installed into :mod:`repro.graphs.isomorphism` for the duration of a run;
+* :mod:`repro.engine.store` — resumable JSONL result shards plus the merged
+  ``summary.json``;
+* :mod:`repro.engine.pool` — the ``multiprocessing`` pool that shards cells
+  across workers, each under its own :mod:`repro.obs` tracer, and merges
+  worker traces into one document.
+
+Entry points: :func:`run_sweep` (or ``python -m repro sweep`` /
+:func:`repro.api.sweep`).  See ``docs/engine.md``.
+"""
+
+from .cache import CacheStats, CanonicalFormCache, graph_digest
+from .grid import ALGORITHMS, CHAINS, Cell, GridSpec, e1_grid, expand, run_cell, smoke_grid
+from .pool import SweepResult, run_sweep
+from .store import ResultStore
+
+__all__ = [
+    "ALGORITHMS",
+    "CHAINS",
+    "CacheStats",
+    "CanonicalFormCache",
+    "Cell",
+    "GridSpec",
+    "ResultStore",
+    "SweepResult",
+    "e1_grid",
+    "expand",
+    "graph_digest",
+    "run_cell",
+    "run_sweep",
+    "smoke_grid",
+]

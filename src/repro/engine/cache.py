@@ -1,0 +1,268 @@
+"""Content-addressed memoization of canonical rooted forms.
+
+The hot path of every adversary run is canonicalising witness balls
+(:func:`repro.graphs.isomorphism.canonical_rooted_form`): each inductive
+step canonicalises two rooted trees-with-loops that double in size as the
+ladder climbs.  Many of those balls recur — the two radius-0 balls of every
+base case are the same labelled single-node graph, the G- and H-side balls
+of a step frequently coincide as labelled graphs, and a resumed or repeated
+sweep re-canonicalises everything it already saw.
+
+:class:`CanonicalFormCache` memoizes the *top-level* canonical form keyed by
+:func:`graph_digest` — a SHA-256 over the sorted node labels, the sorted
+``(u, v, colour)`` edge list and the root label.  The digest is a pure
+function of the labelled rooted graph, so a hit can only ever return the
+form the recursion would have computed; edge ids (which vary across copies)
+are deliberately excluded.
+
+Two tiers:
+
+* an in-memory LRU (``maxsize`` entries, least-recently-used eviction);
+* an optional on-disk JSON store (one tagged file per key) shared between
+  worker processes and across sweep invocations.  The directory defaults to
+  ``$REPRO_CACHE_DIR`` when set.  Corrupt or alien files are treated as
+  misses: the form is recomputed and the entry rewritten.
+
+Hits and misses are counted both in :class:`CacheStats` and on the ambient
+:mod:`repro.obs` tracer (``engine.canonical_cache`` counter, ``outcome``
+label), so a merged sweep trace reports the realised hit-rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from ..graphs.multigraph import ECGraph
+from ..obs.tracer import current_tracer
+
+Node = Hashable
+
+__all__ = [
+    "CACHE_FORMAT",
+    "ENV_CACHE_DIR",
+    "CacheStats",
+    "CanonicalFormCache",
+    "graph_digest",
+    "encode_form",
+    "decode_form",
+]
+
+CACHE_FORMAT = "repro-canonical-cache-v1"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def graph_digest(g: ECGraph, root: Optional[Node] = None) -> str:
+    """Stable content digest of a (rooted) EC-graph.
+
+    Hashes the sorted node-label reprs, the sorted ``(u, v, colour)`` edge
+    triples (loops included, endpoints order-normalised) and the root label.
+    Two graphs share a digest iff they have identical labelled structure —
+    exactly the condition under which their canonical rooted forms agree.
+    Edge ids are excluded: they differ between otherwise identical copies.
+    """
+    edges = sorted(
+        tuple(sorted((repr(e.u), repr(e.v)))) + (repr(e.color),) for e in g.edges()
+    )
+    payload = json.dumps(
+        {
+            "nodes": sorted(repr(v) for v in g.nodes()),
+            "edges": edges,
+            "root": repr(root),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def encode_form(form: Any) -> Any:
+    """Encode a canonical form (nested tuples of colours and markers) as JSON.
+
+    Tuples become ``{"t": [...]}`` exactly as in
+    :mod:`repro.graphs.serialize`, so the round trip is lossless for the
+    int/str leaves canonical forms are built from.
+    """
+    if isinstance(form, tuple):
+        return {"t": [encode_form(x) for x in form]}
+    if isinstance(form, (str, int, bool)) or form is None:
+        return form
+    raise TypeError(f"cannot encode canonical-form leaf of type {type(form).__name__}")
+
+
+def decode_form(data: Any) -> Any:
+    """Inverse of :func:`encode_form`."""
+    if isinstance(data, dict) and set(data.keys()) == {"t"}:
+        return tuple(decode_form(x) for x in data["t"])
+    return data
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one cache's life so far."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_corrupt": self.disk_corrupt,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+    @classmethod
+    def merged(cls, dicts) -> "CacheStats":
+        """Aggregate several ``as_dict`` payloads (one per worker)."""
+        total = cls()
+        for d in dicts:
+            total.hits += d.get("hits", 0)
+            total.misses += d.get("misses", 0)
+            total.evictions += d.get("evictions", 0)
+            total.disk_hits += d.get("disk_hits", 0)
+            total.disk_corrupt += d.get("disk_corrupt", 0)
+        return total
+
+
+@dataclass
+class CanonicalFormCache:
+    """Two-tier (LRU + optional disk) memo table for canonical rooted forms.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory LRU capacity; the least-recently-used entry is evicted
+        on overflow.  Disk entries are never evicted.
+    directory:
+        On-disk store location; ``None`` consults ``$REPRO_CACHE_DIR`` and
+        disables the disk tier when that is unset too.
+    use_disk:
+        Set to ``False`` to force a memory-only cache even when a directory
+        (or ``$REPRO_CACHE_DIR``) is available.
+    """
+
+    maxsize: int = 4096
+    directory: Optional[Path] = None
+    use_disk: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.directory is None:
+            env = os.environ.get(ENV_CACHE_DIR)
+            self.directory = Path(env) if env else None
+        else:
+            self.directory = Path(self.directory)
+        if not self.use_disk:
+            self.directory = None
+        if self.directory:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._lru: "OrderedDict[str, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # the public entry point installed into repro.graphs.isomorphism
+    # ------------------------------------------------------------------
+    def canonical_form(
+        self, g: ECGraph, root: Node, compute: Callable[[ECGraph, Node], Tuple]
+    ) -> Tuple:
+        """The canonical rooted form of ``(g, root)``, memoized.
+
+        ``compute`` is the real canonicaliser
+        (:func:`repro.graphs.isomorphism.canonical_rooted_form`), called on
+        a miss.
+        """
+        key = graph_digest(g, root)
+        hit, form = self._get(key)
+        metrics = current_tracer().metrics
+        if hit:
+            self.stats.hits += 1
+            metrics.counter("engine.canonical_cache", outcome="hit").inc()
+            return form
+        self.stats.misses += 1
+        metrics.counter("engine.canonical_cache", outcome="miss").inc()
+        form = compute(g, root)
+        self._put(key, form)
+        return form
+
+    # ------------------------------------------------------------------
+    # tiers
+    # ------------------------------------------------------------------
+    def _get(self, key: str) -> Tuple[bool, Any]:
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return True, self._lru[key]
+        form = self._disk_get(key)
+        if form is not None:
+            self.stats.disk_hits += 1
+            self._lru_store(key, form)
+            return True, form
+        return False, None
+
+    def _put(self, key: str, form: Any) -> None:
+        self._lru_store(key, form)
+        self._disk_put(key, form)
+
+    def _lru_store(self, key: str, form: Any) -> None:
+        self._lru[key] = form
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.maxsize:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _disk_get(self, key: str) -> Optional[Any]:
+        if not self.directory:
+            return None
+        path = self._disk_path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
+                raise ValueError("foreign or stale cache entry")
+            return decode_form(payload["form"])
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # corrupt entry: fall back to recomputation (the fresh _put
+            # below overwrites the bad file)
+            self.stats.disk_corrupt += 1
+            return None
+
+    def _disk_put(self, key: str, form: Any) -> None:
+        if not self.directory:
+            return
+        path = self._disk_path(key)
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(
+                    {"format": CACHE_FORMAT, "key": key, "form": encode_form(form)},
+                    sort_keys=True,
+                ),
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)  # atomic: concurrent workers never see partial writes
+        except OSError:  # a full or read-only disk never fails the computation
+            tmp.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._lru)

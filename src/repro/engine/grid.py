@@ -1,0 +1,210 @@
+"""Declarative job grids for the sweep engine.
+
+A :class:`GridSpec` names the experiment axes — algorithm × Delta ×
+simulation chain × seed — without running anything; :func:`expand` turns it
+into the deterministic, sorted list of :class:`Cell` jobs the engine shards
+across workers.  Each cell owns a stable string ``key`` (its identity in
+result shards, resume bookkeeping and trace attribution) and knows how to
+build its algorithm (:func:`build_cell_algorithm`) and execute itself
+(:func:`run_cell`).
+
+Cells are deliberately tiny value objects (round-trippable through
+``as_dict``/``from_dict``) so they cross process boundaries cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from ..core.adversary import run_adversary
+from ..core.witness import AlgorithmFailure
+from ..matching.greedy_color import greedy_color_algorithm
+from ..matching.naive import DegreeSplitFM, ZeroFM
+from ..matching.proposal import proposal_algorithm
+from ..obs.tracer import current_tracer
+
+__all__ = [
+    "ALGORITHMS",
+    "CHAINS",
+    "Cell",
+    "GridSpec",
+    "build_cell_algorithm",
+    "e1_grid",
+    "expand",
+    "make_algorithm",
+    "run_cell",
+    "smoke_grid",
+]
+
+#: name -> factory for every sweepable EC algorithm (also the CLI registry)
+ALGORITHMS = {
+    "greedy": greedy_color_algorithm,
+    "proposal": proposal_algorithm,
+    "zero": ZeroFM,
+    "degree-split": DegreeSplitFM,
+}
+
+#: the Section 5 simulation chains a cell may run its algorithm through;
+#: chains deeper than "ec" wrap the proposal dynamics (the one shipped
+#: machine with PO and ID presentations)
+CHAINS = ("ec", "po", "oi", "id")
+
+
+def make_algorithm(name: str):
+    """Instantiate a registered algorithm by name."""
+    if name not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name]()
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """One grid point: run ``algorithm`` through ``chain`` at degree ``delta``."""
+
+    algorithm: str
+    delta: int
+    chain: str = "ec"
+    seed: int = 0
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by shards, resume and trace attribution."""
+        return f"{self.algorithm}/d{self.delta}/{self.chain}/s{self.seed}"
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "algorithm": self.algorithm,
+            "delta": self.delta,
+            "chain": self.chain,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Cell":
+        return cls(
+            algorithm=str(data["algorithm"]),
+            delta=int(data["delta"]),
+            chain=str(data.get("chain", "ec")),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A declarative sweep grid: the cross product of its axes."""
+
+    algorithms: Tuple[str, ...] = ("greedy", "proposal")
+    deltas: Tuple[int, ...] = (3, 4, 5, 6, 7, 8)
+    chains: Tuple[str, ...] = ("ec",)
+    seeds: Tuple[int, ...] = (0,)
+
+    @classmethod
+    def from_mapping(cls, data: Mapping) -> "GridSpec":
+        """Build a spec from a plain dict (the CLI/JSON form).
+
+        Accepts singular scalars as well as sequences for each axis.
+        """
+
+        def axis(name: str, default: Sequence) -> Tuple:
+            value = data.get(name, default)
+            if isinstance(value, (str, int)):
+                value = (value,)
+            return tuple(value)
+
+        return cls(
+            algorithms=axis("algorithms", cls.algorithms),
+            deltas=tuple(int(d) for d in axis("deltas", cls.deltas)),
+            chains=axis("chains", cls.chains),
+            seeds=tuple(int(s) for s in axis("seeds", cls.seeds)),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithms": list(self.algorithms),
+            "deltas": list(self.deltas),
+            "chains": list(self.chains),
+            "seeds": list(self.seeds),
+        }
+
+
+def e1_grid() -> GridSpec:
+    """The E1 reproduction grid: both upper-bound algorithms, Delta 3..8."""
+    return GridSpec(algorithms=("greedy", "proposal"), deltas=(3, 4, 5, 6, 7, 8))
+
+
+def smoke_grid() -> GridSpec:
+    """A two-algorithm mini-grid for CI smoke runs (seconds, not minutes)."""
+    return GridSpec(algorithms=("greedy", "proposal"), deltas=(3, 4))
+
+
+def expand(grid: Union[GridSpec, Mapping]) -> List[Cell]:
+    """The grid's cells, validated, in deterministic sorted order."""
+    if not isinstance(grid, GridSpec):
+        grid = GridSpec.from_mapping(grid)
+    cells: List[Cell] = []
+    for algorithm in grid.algorithms:
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        for chain in grid.chains:
+            if chain not in CHAINS:
+                raise ValueError(f"unknown chain {chain!r}; choose from {CHAINS}")
+            if chain != "ec" and algorithm != "proposal":
+                raise ValueError(
+                    f"chain {chain!r} wraps the proposal dynamics; "
+                    f"algorithm {algorithm!r} only runs on the 'ec' chain"
+                )
+            for delta in grid.deltas:
+                if delta < 2:
+                    raise ValueError("the construction needs delta >= 2")
+                for seed in grid.seeds:
+                    cells.append(Cell(algorithm, delta, chain, seed))
+    return sorted(cells)
+
+
+def build_cell_algorithm(cell: Cell):
+    """The EC-weight algorithm a cell runs the adversary against."""
+    if cell.chain == "ec":
+        return make_algorithm(cell.algorithm)
+    from ..core.theorem import chain_from_name
+
+    return chain_from_name(cell.chain, t=cell.delta)
+
+
+def run_cell(cell: Cell, tracer=None) -> dict:
+    """Execute one cell: the Section 4 adversary at the cell's grid point.
+
+    Returns a deterministic result row — no wall-clock quantities — so a
+    parallel sweep's rows are byte-identical to the serial baseline's.
+    An :class:`AlgorithmFailure` becomes a row with ``status="refuted"``
+    and the certificate message instead of propagating out of the worker.
+    """
+    tracer = tracer if tracer is not None else current_tracer()
+    algorithm = build_cell_algorithm(cell)
+    with tracer.span(
+        "engine.cell",
+        key=cell.key,
+        algorithm=cell.algorithm,
+        delta=cell.delta,
+        chain=cell.chain,
+        seed=cell.seed,
+    ) as span:
+        row = dict(cell.as_dict(), key=cell.key)
+        try:
+            witness = run_adversary(algorithm, cell.delta, tracer=tracer)
+        except AlgorithmFailure as failure:
+            span.set(status="refuted")
+            row.update(status="refuted", failure=str(failure))
+            return row
+        top = witness.steps[-1]
+        span.set(status="ok", witness_depth=witness.achieved_depth)
+        row.update(
+            status="ok",
+            witness_depth=witness.achieved_depth,
+            expected_depth=cell.delta - 2,
+            final_graph_nodes=top.graph_g.num_nodes() + top.graph_h.num_nodes(),
+            all_valid=witness.all_valid,
+        )
+        return row

@@ -1,0 +1,233 @@
+"""Process-parallel sweep execution with per-worker tracers and caching.
+
+:func:`run_sweep` shards a grid's pending cells round-robin across a
+``multiprocessing`` pool (spawn context: workers import the package fresh,
+no inherited interpreter state).  Each worker shard runs under
+
+* its own :class:`repro.obs.Tracer` — one ``engine.shard`` span wrapping an
+  ``engine.cell`` span per grid point, merged afterwards into a single
+  trace document (:func:`repro.obs.export.merge_trace_documents`);
+* an installed :class:`repro.engine.cache.CanonicalFormCache`, so every
+  witness-ball canonicalisation inside the adversary is memoized; pointing
+  workers at a shared on-disk store (``cache_dir`` / ``$REPRO_CACHE_DIR``)
+  lets shards reuse each other's forms;
+* a :class:`repro.engine.store.ResultStore` shard file, appended row by
+  row, which is what makes a killed sweep resumable.
+
+Rows carry no wall-clock data and are merged in cell-key order, so a sweep
+result is byte-for-byte identical however many workers produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple, Union
+
+from ..graphs.isomorphism import use_canonical_cache
+from ..obs.export import merge_trace_documents, trace_document
+from ..obs.tracer import Tracer, current_tracer, use_tracer
+from .cache import CacheStats, CanonicalFormCache
+from .grid import Cell, GridSpec, expand, run_cell
+from .store import ResultStore
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: merged rows, cache stats, merged trace."""
+
+    grid: dict
+    rows: List[dict]
+    workers: int
+    cache: CacheStats = field(default_factory=CacheStats)
+    trace: Optional[dict] = None
+    resumed: int = 0
+    out_dir: Optional[str] = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    def summary(self) -> str:
+        """One-line human account of the sweep."""
+        fresh = len(self.rows) - self.resumed
+        return (
+            f"{len(self.rows)} cells ({fresh} computed, {self.resumed} resumed) "
+            f"on {self.workers} worker(s); canonical-form cache hit-rate "
+            f"{self.cache.hit_rate:.0%} ({self.cache.hits}/{self.cache.lookups})"
+        )
+
+
+def _shard_cells(cells: List[Cell], shards: int) -> List[List[Cell]]:
+    """Deterministic round-robin split; empty shards are dropped."""
+    buckets: List[List[Cell]] = [[] for _ in range(max(shards, 1))]
+    for index, cell in enumerate(cells):
+        buckets[index % len(buckets)].append(cell)
+    return [bucket for bucket in buckets if bucket]
+
+
+def _run_shard(payload: Tuple) -> Tuple[int, List[dict], dict, dict]:
+    """Execute one shard of cells; the unit of work a pool worker receives.
+
+    Returns ``(shard_index, rows, trace_document, cache_stats)``.  Must stay
+    a module-level function: the spawn context pickles it by reference.
+    """
+    shard_index, cell_dicts, out_dir, cache_dir, use_cache = payload
+    cells = [Cell.from_dict(d) for d in cell_dicts]
+    store = ResultStore(out_dir) if out_dir else None
+    tracer = Tracer()
+    cache = CanonicalFormCache(directory=cache_dir)
+    rows: List[dict] = []
+    with use_tracer(tracer):
+        guard = use_canonical_cache(cache) if use_cache else _NO_CACHE
+        with guard:
+            with tracer.span("engine.shard", shard=shard_index, cells=len(cells)) as span:
+                for cell in cells:
+                    row = run_cell(cell, tracer=tracer)
+                    rows.append(row)
+                    if store is not None:
+                        store.append(shard_index, row)
+                span.set(
+                    cache_hits=cache.stats.hits,
+                    cache_misses=cache.stats.misses,
+                )
+    doc = trace_document(tracer, command=f"sweep shard {shard_index}")
+    return shard_index, rows, doc, cache.stats.as_dict()
+
+
+class _NullGuard:
+    """Context manager used when the cache is disabled."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NO_CACHE = _NullGuard()
+
+
+def run_sweep(
+    grid: Union[GridSpec, Mapping, None] = None,
+    *,
+    workers: int = 0,
+    out_dir=None,
+    cache_dir=None,
+    use_cache: bool = True,
+    resume: bool = False,
+    tracer=None,
+) -> SweepResult:
+    """Run every cell of ``grid``, sharded over ``workers`` processes.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`GridSpec`, a plain mapping of axes, or ``None`` for the
+        default E1 grid.
+    workers:
+        ``0`` or ``1`` runs serially in-process (no subprocesses — the
+        baseline the parallel path must reproduce byte-identically);
+        ``n >= 2`` spawns ``n`` pool workers.
+    out_dir:
+        Results directory (JSONL shards, ``summary.json``, ``trace.json``).
+        ``None`` keeps everything in memory — such a sweep cannot resume.
+    cache_dir:
+        On-disk canonical-form store shared by all workers; defaults to
+        ``$REPRO_CACHE_DIR`` when set (workers always get an in-memory LRU).
+    use_cache:
+        ``False`` disables canonical-form memoization entirely.
+    resume:
+        Skip cells whose rows already sit in ``out_dir``'s shards; their
+        persisted rows are merged into the result untouched.
+    tracer:
+        Parent tracer for the coordinating ``engine.sweep`` span; defaults
+        to the ambient tracer.
+    """
+    if grid is None:
+        spec = GridSpec()
+    elif isinstance(grid, GridSpec):
+        spec = grid
+    else:
+        spec = GridSpec.from_mapping(grid)
+    tracer = tracer if tracer is not None else current_tracer()
+    cells = expand(spec)
+    store = ResultStore(out_dir) if out_dir else None
+
+    done: dict = {}
+    if resume:
+        if store is None:
+            raise ValueError("resume=True needs an out_dir to read shards from")
+        done = store.completed()
+    pending = [cell for cell in cells if cell.key not in done]
+
+    with tracer.span(
+        "engine.sweep",
+        cells=len(cells),
+        pending=len(pending),
+        resumed=len(done),
+        workers=workers,
+    ) as sweep_span:
+        shards = _shard_cells(pending, workers if workers >= 2 else 1)
+        payloads = [
+            (
+                index,
+                [cell.as_dict() for cell in bucket],
+                str(store.directory) if store else None,
+                str(cache_dir) if cache_dir else None,
+                use_cache,
+            )
+            for index, bucket in enumerate(shards)
+        ]
+        if workers >= 2 and payloads:
+            # spawn, not fork: workers must re-import the package so no
+            # half-initialised interpreter state (or installed caches/
+            # tracers) leaks across the process boundary
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(processes=min(workers, len(payloads))) as pool:
+                outcomes = pool.map(_run_shard, payloads)
+        else:
+            outcomes = [_run_shard(payload) for payload in payloads]
+
+        fresh_rows: List[dict] = []
+        shard_docs: List[dict] = []
+        stats_dicts: List[dict] = []
+        for _, rows, doc, stats in sorted(outcomes, key=lambda item: item[0]):
+            fresh_rows.extend(rows)
+            shard_docs.append(doc)
+            stats_dicts.append(stats)
+        cache_stats = CacheStats.merged(stats_dicts)
+        sweep_span.set(
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
+            cache_hit_rate=round(cache_stats.hit_rate, 4),
+        )
+
+    all_rows = sorted(
+        list(done.values()) + fresh_rows, key=lambda row: row.get("key", "")
+    )
+    merged = merge_trace_documents(
+        shard_docs,
+        command=f"sweep ({len(cells)} cells, {workers} workers)",
+        extra={"cache": cache_stats.as_dict()},
+    )
+    result = SweepResult(
+        grid=spec.as_dict(),
+        rows=all_rows,
+        workers=workers,
+        cache=cache_stats,
+        trace=merged,
+        resumed=len(done),
+        out_dir=str(store.directory) if store else None,
+    )
+    if store is not None:
+        store.write_summary(
+            spec.as_dict(), all_rows, cache_stats=cache_stats.as_dict(), workers=workers
+        )
+        store.trace_path.write_text(
+            json.dumps(merged, indent=2, default=str) + "\n", encoding="utf-8"
+        )
+    return result

@@ -1,0 +1,108 @@
+"""Resumable sweep results: JSONL shards plus one merged summary.
+
+Each worker appends finished rows to its own ``shard-<k>.jsonl`` file — one
+JSON object per line, flushed per row — so a sweep killed mid-flight loses
+at most the row being written.  :meth:`ResultStore.completed` reads every
+shard back (tolerating a torn final line) and reports which cell keys are
+already done; the engine skips those on resume.
+
+When a sweep finishes, :meth:`ResultStore.write_summary` merges all rows —
+sorted by cell key, so worker scheduling never changes the document — into
+``summary.json`` next to the shards, alongside the grid spec and aggregated
+cache statistics.  The merged trace document lives in ``trace.json`` (see
+:func:`repro.obs.export.merge_trace_documents`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["STORE_FORMAT", "ResultStore"]
+
+STORE_FORMAT = "repro-sweep-v1"
+
+
+class ResultStore:
+    """Shard files and the merged summary for one sweep output directory."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # shards
+    # ------------------------------------------------------------------
+    def shard_path(self, shard: int) -> Path:
+        return self.directory / f"shard-{shard}.jsonl"
+
+    def append(self, shard: int, row: dict) -> None:
+        """Append one finished row to a shard, flushed immediately."""
+        with self.shard_path(shard).open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+            fh.flush()
+
+    def rows(self) -> List[dict]:
+        """Every persisted row across all shards, sorted by cell key.
+
+        A truncated trailing line (the signature of a killed writer) is
+        dropped silently; duplicate keys keep the first occurrence.
+        """
+        seen: Dict[str, dict] = {}
+        for path in sorted(self.directory.glob("shard-*.jsonl")):
+            for line in path.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a killed worker
+                key = row.get("key")
+                if key is not None and key not in seen:
+                    seen[key] = row
+        return [seen[key] for key in sorted(seen)]
+
+    def completed(self) -> Dict[str, dict]:
+        """Cell key -> persisted row for every already-finished cell."""
+        return {row["key"]: row for row in self.rows()}
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+    @property
+    def summary_path(self) -> Path:
+        return self.directory / "summary.json"
+
+    @property
+    def trace_path(self) -> Path:
+        return self.directory / "trace.json"
+
+    def write_summary(
+        self,
+        grid: dict,
+        rows: List[dict],
+        cache_stats: Optional[dict] = None,
+        workers: Optional[int] = None,
+    ) -> Path:
+        """Write the merged ``summary.json``; rows are sorted by cell key."""
+        document = {
+            "format": STORE_FORMAT,
+            "grid": grid,
+            "workers": workers,
+            "cells": len(rows),
+            "cache": cache_stats,
+            "rows": sorted(rows, key=lambda r: r.get("key", "")),
+        }
+        self.summary_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+        return self.summary_path
+
+    def read_summary(self) -> Optional[dict]:
+        """The previously written summary, or ``None``."""
+        try:
+            return json.loads(self.summary_path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None

@@ -26,13 +26,58 @@ Node = Hashable
 
 __all__ = [
     "canonical_rooted_form",
+    "canonical_form_of",
     "balls_isomorphic",
     "rooted_isomorphic",
     "ec_isomorphic",
+    "install_canonical_cache",
+    "current_canonical_cache",
+    "use_canonical_cache",
 ]
 
 _LOOP = "loop"
 _CUT = "cut"
+
+#: the installed canonical-form memoizer (duck-typed: anything with a
+#: ``canonical_form(g, root, compute)`` method, normally a
+#: :class:`repro.engine.cache.CanonicalFormCache`); ``None`` disables
+#: memoization.  Held here — not in :mod:`repro.engine` — so the graphs
+#: layer never imports upwards.
+_CANONICAL_CACHE = None
+
+
+def install_canonical_cache(cache):
+    """Install ``cache`` as the ambient canonical-form memoizer.
+
+    Returns the previously installed cache (``None`` when there was none)
+    so callers can restore it; prefer :class:`use_canonical_cache` for
+    scoped installation.
+    """
+    global _CANONICAL_CACHE
+    previous = _CANONICAL_CACHE
+    _CANONICAL_CACHE = cache
+    return previous
+
+
+def current_canonical_cache():
+    """The ambient canonical-form cache, or ``None`` when memoization is off."""
+    return _CANONICAL_CACHE
+
+
+class use_canonical_cache:
+    """Install a canonical-form cache for the duration of a ``with`` block."""
+
+    def __init__(self, cache):
+        self._cache = cache
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = install_canonical_cache(self._cache)
+        return self._cache
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        install_canonical_cache(self._previous)
+        return False
 
 
 def canonical_rooted_form(g: ECGraph, root: Node, _from_eid: Optional[int] = None) -> Tuple:
@@ -61,14 +106,28 @@ def canonical_rooted_form(g: ECGraph, root: Node, _from_eid: Optional[int] = Non
     return tuple(sorted(entries, key=lambda item: (repr(item[0]), repr(item[1]))))
 
 
+def canonical_form_of(g: ECGraph, root: Node) -> Tuple:
+    """Canonical rooted form of a tree-with-loops, through the ambient cache.
+
+    Equal to :func:`canonical_rooted_form` but consults the installed
+    canonical-form cache (:func:`install_canonical_cache`) first; the hot
+    path of ball-isomorphism checks and of the parallel sweep engine.
+    """
+    cache = _CANONICAL_CACHE
+    if cache is not None:
+        return cache.canonical_form(g, root, canonical_rooted_form)
+    return canonical_rooted_form(g, root)
+
+
 def rooted_isomorphic(g1: ECGraph, r1: Node, g2: ECGraph, r2: Node) -> bool:
     """Whether two rooted EC-graphs admit a colour- and root-preserving isomorphism.
 
-    Fast path: if both graphs are trees-with-loops, compare canonical forms.
-    Otherwise fall back to VF2 on auxiliary simple graphs with a root marker.
+    Fast path: if both graphs are trees-with-loops, compare (cached)
+    canonical forms.  Otherwise fall back to VF2 on auxiliary simple graphs
+    with a root marker.
     """
     if g1.is_tree_ignoring_loops() and g2.is_tree_ignoring_loops():
-        return canonical_rooted_form(g1, r1) == canonical_rooted_form(g2, r2)
+        return canonical_form_of(g1, r1) == canonical_form_of(g2, r2)
     return _vf2_isomorphic(g1, g2, roots=(r1, r2))
 
 

@@ -44,6 +44,17 @@ class Ball:
     radius: int
     distances: Dict[Node, int]
 
+    def canonical_form(self):
+        """Canonical rooted form of the ball's tree-with-loops.
+
+        Delegates to :func:`repro.graphs.isomorphism.canonical_form_of`, so
+        an installed canonical-form cache (the sweep engine's) is consulted;
+        raises ``ValueError`` for non-tree balls, like the canonicaliser.
+        """
+        from .isomorphism import canonical_form_of
+
+        return canonical_form_of(self.graph, self.root)
+
 
 def ball(g: ECGraph, v: Node, t: int) -> Ball:
     """Extract ``tau_t(g, v)`` following the paper's edge-distance rule.

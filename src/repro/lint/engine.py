@@ -39,6 +39,7 @@ __all__ = [
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([a-zA-Z0-9_\-,\s]+)\])?")
 _RANDOMIZED_MARKER_RE = re.compile(r"^\s*#\s*repro:\s*randomized\s*$")
 _CLOCK_MARKER_RE = re.compile(r"^\s*#\s*repro:\s*clock\s*$")
+_WORKER_MARKER_RE = re.compile(r"^\s*#\s*repro:\s*workers\s*$")
 
 
 @dataclass(frozen=True, order=True)
@@ -72,6 +73,15 @@ class LintConfig:
         clock reads are permitted in exactly these modules (or under a
         module-level ``# repro: clock`` marker) and every other
         ``determinism`` check still applies to them.
+    worker_modules:
+        Modules sanctioned to spawn worker processes/threads
+        (``multiprocessing``, ``concurrent.futures``, ``threading``).  The
+        experiment engine shards sweeps across a process pool, but model
+        code must stay single-threaded and deterministic — so, like the
+        clock exemption, this one is surgical: process spawning is
+        permitted in exactly these modules (or under a module-level
+        ``# repro: workers`` marker) and the randomness/clock checks still
+        apply to them.
     exact_scopes:
         Dotted prefixes inside which ``exact-arith`` applies.
     exact_exempt:
@@ -87,6 +97,7 @@ class LintConfig:
         }
     )
     clock_modules: frozenset = frozenset({"repro.obs.tracer"})
+    worker_modules: frozenset = frozenset({"repro.engine.pool"})
     exact_scopes: Tuple[str, ...] = ("repro.matching", "repro.core")
     exact_exempt: frozenset = frozenset({"repro.matching.lp", "repro.analysis"})
 
@@ -122,6 +133,17 @@ class ModuleUnderLint:
         if self.module in self.config.clock_modules:
             return True
         return any(_CLOCK_MARKER_RE.match(line) for line in self.lines)
+
+    @property
+    def declared_workers(self) -> bool:
+        """Whether the module may spawn worker processes (list or marker).
+
+        Only relaxes the worker-pool import checks of the ``determinism``
+        rule; ambient entropy and clock reads stay flagged.
+        """
+        if self.module in self.config.worker_modules:
+            return True
+        return any(_WORKER_MARKER_RE.match(line) for line in self.lines)
 
     @property
     def in_exact_scope(self) -> bool:

@@ -38,6 +38,14 @@ _FORBIDDEN_FROM_IMPORTS = {
     "os": lambda name: name == "urandom",
 }
 
+#: modules whose import means worker processes/threads — scheduling order is
+#: nondeterministic, so only sanctioned pool modules may touch them.
+_WORKER_MODULES = ("multiprocessing", "concurrent.futures", "threading")
+
+
+def _is_worker_module(name: str) -> bool:
+    return any(name == m or name.startswith(m + ".") for m in _WORKER_MODULES)
+
 
 def _alias_map(tree: ast.AST) -> Dict[str, str]:
     """Local name -> canonical module for every ``import x [as y]``."""
@@ -55,17 +63,39 @@ def check(mod: ModuleUnderLint) -> Iterator[Finding]:
 
     Modules sanctioned as clock readers (``LintConfig.clock_modules`` or a
     ``# repro: clock`` marker — currently only the observability tracer)
-    are exempt from the ``time`` checks alone; every other determinism
-    check still applies to them.
+    are exempt from the ``time`` checks alone; modules sanctioned as worker
+    pools (``LintConfig.worker_modules`` or ``# repro: workers`` — the
+    experiment engine's sharder) are exempt from the worker-pool import
+    checks alone.  Every other determinism check still applies to both.
     """
     if mod.declared_randomized:
         return
     clock_sanctioned = mod.declared_clock
+    workers_sanctioned = mod.declared_workers
     aliases = _alias_map(mod.tree)
 
     for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import) and not workers_sanctioned:
+            for alias in node.names:
+                if _is_worker_module(alias.name):
+                    yield mod.finding(
+                        node,
+                        RULE_ID,
+                        f"'import {alias.name}' spawns workers with "
+                        f"nondeterministic scheduling; only sanctioned pool "
+                        f"modules may (declare '# repro: workers')",
+                    )
         if isinstance(node, ast.ImportFrom):
             module = node.module or ""
+            if _is_worker_module(module) and not workers_sanctioned:
+                yield mod.finding(
+                    node,
+                    RULE_ID,
+                    f"'from {module} import ...' spawns workers with "
+                    f"nondeterministic scheduling; only sanctioned pool "
+                    f"modules may (declare '# repro: workers')",
+                )
+                continue
             verdict = _FORBIDDEN_FROM_IMPORTS.get(module)
             if verdict is None:
                 continue

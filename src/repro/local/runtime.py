@@ -215,9 +215,38 @@ def _state_size_estimate(states: Dict[Node, Any]) -> int:
     return sum(len(repr(s)) for s in states.values())
 
 
+def _consume_legacy(func: str, legacy: tuple, names: tuple, given: Dict[str, Any]) -> Dict[str, Any]:
+    """Map deprecated positional extras onto their keyword names.
+
+    The run entry points accept their options keyword-only; old positional
+    spellings still work through this shim but emit a
+    :class:`DeprecationWarning` naming the replacement.
+    """
+    if not legacy:
+        return given
+    if len(legacy) > len(names):
+        raise TypeError(
+            f"{func}() takes at most {len(names)} optional positional "
+            f"arguments ({len(legacy)} given)"
+        )
+    import warnings
+
+    spelled = ", ".join(f"{n}=..." for n in names[: len(legacy)])
+    warnings.warn(
+        f"passing {func}() options positionally is deprecated; "
+        f"use keyword arguments ({spelled})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    out = dict(given)
+    out.update(zip(names, legacy))
+    return out
+
+
 def run(
     network: Network,
     algorithm: DistributedAlgorithm,
+    *legacy,
     max_rounds: int = 10_000,
     sanitize: bool = False,
     sanitize_mode: str = "raise",
@@ -240,7 +269,25 @@ def run(
     estimates) and ``local.poll`` spans timing the output polls; it defaults
     to the ambient tracer, a no-op unless installed via
     :func:`repro.obs.use_tracer`.
+
+    All options are keyword-only; legacy positional spellings are accepted
+    with a :class:`DeprecationWarning`.
     """
+    opts = _consume_legacy(
+        "run",
+        legacy,
+        ("max_rounds", "sanitize", "sanitize_mode", "tracer"),
+        {
+            "max_rounds": max_rounds,
+            "sanitize": sanitize,
+            "sanitize_mode": sanitize_mode,
+            "tracer": tracer,
+        },
+    )
+    max_rounds = opts["max_rounds"]
+    sanitize = opts["sanitize"]
+    sanitize_mode = opts["sanitize_mode"]
+    tracer = opts["tracer"]
     if algorithm.model != network.model:
         raise ValueError(
             f"algorithm model {algorithm.model!r} does not match network model {network.model!r}"
@@ -306,6 +353,7 @@ def run_rounds(
     network: Network,
     algorithm: DistributedAlgorithm,
     rounds: int,
+    *legacy,
     sanitize: bool = False,
     sanitize_mode: str = "raise",
     tracer=None,
@@ -322,7 +370,19 @@ def run_rounds(
     Per-round message delivery counts are recorded in
     ``RunResult.message_counts`` exactly as in :func:`run`, and ``tracer``
     behaves identically (``local.run_rounds`` / ``local.round`` spans).
+
+    All options after ``rounds`` are keyword-only; legacy positional
+    spellings are accepted with a :class:`DeprecationWarning`.
     """
+    opts = _consume_legacy(
+        "run_rounds",
+        legacy,
+        ("sanitize", "sanitize_mode", "tracer"),
+        {"sanitize": sanitize, "sanitize_mode": sanitize_mode, "tracer": tracer},
+    )
+    sanitize = opts["sanitize"]
+    sanitize_mode = opts["sanitize_mode"]
+    tracer = opts["tracer"]
     if algorithm.model != network.model:
         raise ValueError(
             f"algorithm model {algorithm.model!r} does not match network model {network.model!r}"

@@ -25,6 +25,8 @@ span-name catalogues, and the JSON schema.
 from .export import (
     TRACE_SCHEMA_VERSION,
     count_spans,
+    merge_metrics_snapshots,
+    merge_trace_documents,
     profile_rows,
     render_profile,
     render_tree,
@@ -50,6 +52,8 @@ __all__ = [
     "use_tracer",
     "TRACE_SCHEMA_VERSION",
     "count_spans",
+    "merge_metrics_snapshots",
+    "merge_trace_documents",
     "profile_rows",
     "render_profile",
     "render_tree",

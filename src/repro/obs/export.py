@@ -28,6 +28,8 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "span_to_dict",
     "trace_document",
+    "merge_metrics_snapshots",
+    "merge_trace_documents",
     "write_json",
     "write_jsonl",
     "render_tree",
@@ -61,6 +63,75 @@ def trace_document(tracer, command: Optional[str] = None) -> dict:
         "spans": [span_to_dict(s) for s in tracer.roots],
         "metrics": tracer.metrics.snapshot(),
     }
+
+
+def _metric_key(row: dict) -> Tuple:
+    return (row["name"], tuple(sorted(row.get("labels", {}).items())))
+
+
+def merge_metrics_snapshots(snapshots) -> dict:
+    """Combine several ``MetricsRegistry.snapshot()`` payloads into one.
+
+    Counters and histogram counts/totals add; histogram min/max widen;
+    gauges keep the last written value in snapshot order.  Rows keep the
+    snapshot sort order (name, then labels).
+    """
+    counters: Dict[Tuple, dict] = {}
+    gauges: Dict[Tuple, dict] = {}
+    histograms: Dict[Tuple, dict] = {}
+    for snapshot in snapshots:
+        for row in snapshot.get("counters", []):
+            merged = counters.setdefault(_metric_key(row), {**row, "value": 0})
+            merged["value"] += row["value"]
+        for row in snapshot.get("gauges", []):
+            gauges[_metric_key(row)] = dict(row)
+        for row in snapshot.get("histograms", []):
+            merged = histograms.get(_metric_key(row))
+            if merged is None:
+                histograms[_metric_key(row)] = dict(row)
+                continue
+            merged["count"] += row["count"]
+            merged["total"] += row["total"]
+            for bound, pick in (("min", min), ("max", max)):
+                values = [v for v in (merged[bound], row[bound]) if v is not None]
+                merged[bound] = pick(values) if values else None
+            merged["mean"] = merged["total"] / merged["count"] if merged["count"] else 0
+    return {
+        "counters": [counters[k] for k in sorted(counters)],
+        "gauges": [gauges[k] for k in sorted(gauges)],
+        "histograms": [histograms[k] for k in sorted(histograms)],
+    }
+
+
+def merge_trace_documents(
+    documents, command: Optional[str] = None, extra: Optional[dict] = None
+) -> dict:
+    """Merge several trace documents (one per worker) into one.
+
+    Span forests are concatenated in document order with each root annotated
+    by its source document index (``merged_from`` attribute); metrics are
+    combined with :func:`merge_metrics_snapshots`.  ``extra`` entries (e.g.
+    cache statistics) are copied onto the top level of the merged document.
+    """
+    documents = list(documents)
+    spans: List[dict] = []
+    for index, doc in enumerate(documents):
+        for root in doc.get("spans", []):
+            merged_root = dict(root)
+            merged_root["attrs"] = dict(root.get("attrs", {}), merged_from=index)
+            spans.append(merged_root)
+    merged = {
+        "version": TRACE_SCHEMA_VERSION,
+        "command": command,
+        "merged_from": len(documents),
+        "spans": spans,
+        "metrics": merge_metrics_snapshots(
+            doc.get("metrics", {}) for doc in documents
+        ),
+    }
+    if extra:
+        merged.update(extra)
+    return merged
 
 
 def write_json(tracer, path, command: Optional[str] = None) -> Path:

@@ -1,0 +1,100 @@
+"""Tests for the public facade (repro.api) and the runtime's keyword-only API."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import api
+from repro.graphs.families import path_graph
+from repro.graphs.ports import po_double_from_ec
+from repro.local.runtime import ECNetwork, run, run_rounds
+from repro.matching.greedy_color import greedy_color_algorithm
+from repro.matching.proposal import ProposalFM
+
+
+class TestApiRun:
+    def test_run_on_ec_graph(self):
+        result = api.run(ProposalFM("EC"), path_graph(4))
+        assert result.halted
+        assert set(result.outputs) == set(path_graph(4).nodes())
+
+    def test_run_on_po_graph(self):
+        doubled = po_double_from_ec(path_graph(3))
+        result = api.run(ProposalFM("PO"), doubled)
+        assert result.halted
+
+    def test_run_on_nx_graph_id_model(self):
+        result = api.run(ProposalFM("ID"), nx.path_graph(4))
+        assert result.halted
+
+    def test_run_exact_rounds_snapshots(self):
+        g = path_graph(4)
+        bounded = api.run(ProposalFM("EC"), g, rounds=1)
+        assert bounded.rounds <= 1
+        assert all(out is not None for out in bounded.outputs.values())
+
+    def test_run_on_prebuilt_network(self):
+        network = ECNetwork(path_graph(3), globals_={"delta": 2})
+        assert api.run(ProposalFM("EC"), network).halted
+
+    def test_globals_with_network_rejected(self):
+        network = ECNetwork(path_graph(3))
+        with pytest.raises(ValueError, match="globals"):
+            api.run(ProposalFM("EC"), network, globals={"delta": 2})
+
+    def test_sanitize_records_access_log(self):
+        result = api.run(ProposalFM("EC"), path_graph(3), sanitize=True)
+        assert result.access_log is not None
+        assert result.access_log.clean
+
+
+class TestApiRefute:
+    def test_direct_ec_algorithm(self):
+        result = api.refute(greedy_color_algorithm(), 4, claimed_rounds=1)
+        assert result.kind == "locality-violation"
+
+    def test_chain_defaults_to_proposal(self):
+        result = api.refute(None, 3, claimed_rounds=1, chain="po")
+        assert result.kind == "locality-violation"
+        assert "ProposalFM" in result.algorithm
+        assert result.algorithm.startswith("ec<=po")
+
+    def test_consistent_beyond_reach(self):
+        result = api.refute(greedy_color_algorithm(), 4, claimed_rounds=9)
+        assert result.kind == "consistent"
+
+    def test_unknown_chain(self):
+        with pytest.raises(ValueError, match="unknown chain"):
+            api.refute(None, 3, chain="qc")
+
+
+class TestApiSweep:
+    def test_mapping_grid(self):
+        result = api.sweep({"algorithms": "greedy", "deltas": 3})
+        assert len(result.rows) == 1
+        assert result.rows[0]["status"] == "ok"
+
+
+class TestRuntimeDeprecationShims:
+    def test_positional_max_rounds_warns_but_works(self):
+        network = ECNetwork(path_graph(3))
+        with pytest.warns(DeprecationWarning, match="max_rounds"):
+            result = run(network, ProposalFM("EC"), 50)
+        assert result.halted
+
+    def test_positional_run_rounds_extras_warn(self):
+        network = ECNetwork(path_graph(3))
+        with pytest.warns(DeprecationWarning, match="sanitize"):
+            result = run_rounds(network, ProposalFM("EC"), 1, False)
+        assert result.rounds <= 1
+
+    def test_too_many_positionals_rejected(self):
+        network = ECNetwork(path_graph(3))
+        with pytest.raises(TypeError, match="positional"):
+            run(network, ProposalFM("EC"), 50, False, "raise", None, "extra")
+
+    def test_keyword_form_does_not_warn(self, recwarn):
+        network = ECNetwork(path_graph(3))
+        run(network, ProposalFM("EC"), max_rounds=50)
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -99,3 +101,77 @@ class TestExhaustive:
         out = capsys.readouterr().out
         assert code == 0
         assert "IMPOSSIBLE" in out
+
+
+class TestSweep:
+    def test_smoke_grid_serial(self, capsys):
+        code = main(["sweep", "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 cells" in out
+        assert "hit-rate" in out
+
+    def test_custom_grid_json_to_stdout(self, capsys):
+        code = main(["sweep", "--algorithms", "greedy", "--deltas", "3", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert payload["rows"][0]["key"] == "greedy/d3/ec/s0"
+        assert payload["cache"]["hits"] > 0
+
+    def test_delta_range_spec(self, capsys):
+        code = main(["sweep", "--algorithms", "greedy", "--deltas", "3..4", "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert code == 0
+        assert [row["delta"] for row in payload["rows"]] == [3, 4]
+
+    def test_out_dir_and_resume(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["sweep", "--smoke", "--out", out_dir]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--smoke", "--out", out_dir, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "(0 computed, 4 resumed)" in out
+
+    def test_bad_delta_spec(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--deltas", "three"])
+
+    def test_deep_chain_for_greedy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--algorithms", "greedy", "--chain", "po"])
+
+
+class TestVerify:
+    def test_refuted_claim_exit_zero(self, capsys):
+        code = main(["verify", "--delta", "4", "--claimed-rounds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "radius-1" in out
+
+    def test_consistent_claim_exit_two(self):
+        assert main(["verify", "--delta", "4", "--claimed-rounds", "9"]) == 2
+
+    def test_chain_po_uses_proposal(self, capsys):
+        code = main([
+            "verify", "--delta", "3", "--claimed-rounds", "1", "--chain", "po", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert payload["kind"] == "locality-violation"
+        assert payload["chain"] == "po"
+
+    def test_chain_rejects_other_algorithms(self):
+        with pytest.raises(SystemExit):
+            main([
+                "verify", "--delta", "3", "--claimed-rounds", "1",
+                "--chain", "po", "--algorithm", "greedy",
+            ])
+
+    def test_json_to_file(self, tmp_path):
+        target = tmp_path / "verdict.json"
+        main(["verify", "--delta", "4", "--claimed-rounds", "1", "--json", str(target)])
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["kind"] == "locality-violation"

@@ -1,0 +1,270 @@
+"""Tests for the parallel experiment engine (repro.engine)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    CanonicalFormCache,
+    Cell,
+    GridSpec,
+    ResultStore,
+    e1_grid,
+    expand,
+    graph_digest,
+    run_cell,
+    run_sweep,
+    smoke_grid,
+)
+from repro.engine.cache import CACHE_FORMAT, decode_form, encode_form
+from repro.graphs.families import path_graph
+from repro.graphs.isomorphism import canonical_rooted_form, use_canonical_cache
+from repro.graphs.multigraph import ECGraph
+from repro.obs import Tracer, merge_trace_documents, use_tracer
+
+
+def loopy_pair():
+    """Two structurally identical rooted graphs built with different edge ids."""
+    g1 = ECGraph()
+    g1.add_edge("a", "b", 1)
+    g1.add_edge("b", "b", 2)
+    g2 = ECGraph()
+    g2.add_edge("b", "b", 2, eid=77)
+    g2.add_edge("a", "b", 1, eid=99)
+    return g1, g2
+
+
+class TestGraphDigest:
+    def test_identical_structure_same_digest(self):
+        g1, g2 = loopy_pair()
+        assert graph_digest(g1, "a") == graph_digest(g2, "a")
+
+    def test_root_changes_digest(self):
+        g1, _ = loopy_pair()
+        assert graph_digest(g1, "a") != graph_digest(g1, "b")
+
+    def test_edge_color_changes_digest(self):
+        g1, _ = loopy_pair()
+        g3 = ECGraph()
+        g3.add_edge("a", "b", 5)
+        g3.add_edge("b", "b", 2)
+        assert graph_digest(g1, "a") != graph_digest(g3, "a")
+
+    def test_form_roundtrip(self):
+        g1, _ = loopy_pair()
+        form = canonical_rooted_form(g1, "a")
+        assert decode_form(json.loads(json.dumps(encode_form(form)))) == form
+
+
+class TestCanonicalFormCache:
+    def test_hit_and_miss_counting(self):
+        g1, g2 = loopy_pair()
+        cache = CanonicalFormCache(use_disk=False)
+        f1 = cache.canonical_form(g1, "a", canonical_rooted_form)
+        f2 = cache.canonical_form(g2, "a", canonical_rooted_form)
+        assert f1 == f2 == canonical_rooted_form(g1, "a")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = CanonicalFormCache(maxsize=2, use_disk=False)
+        for n in (2, 3, 4):
+            cache.canonical_form(path_graph(n), 0, canonical_rooted_form)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # the evicted entry (n=2, least recently used) misses again
+        cache.canonical_form(path_graph(2), 0, canonical_rooted_form)
+        assert cache.stats.misses == 4
+        assert cache.stats.hits == 0
+
+    def test_disk_roundtrip_across_instances(self, tmp_path):
+        g1, _ = loopy_pair()
+        first = CanonicalFormCache(directory=tmp_path)
+        first.canonical_form(g1, "a", canonical_rooted_form)
+        second = CanonicalFormCache(directory=tmp_path)
+        second.canonical_form(g1, "a", canonical_rooted_form)
+        assert second.stats.hits == 1
+        assert second.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_recomputed(self, tmp_path):
+        g1, _ = loopy_pair()
+        cache = CanonicalFormCache(directory=tmp_path)
+        key = graph_digest(g1, "a")
+        (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+        form = cache.canonical_form(g1, "a", canonical_rooted_form)
+        assert form == canonical_rooted_form(g1, "a")
+        assert cache.stats.disk_corrupt == 1
+        assert cache.stats.misses == 1
+        # the recomputation rewrote a valid entry
+        payload = json.loads((tmp_path / f"{key}.json").read_text(encoding="utf-8"))
+        assert payload["format"] == CACHE_FORMAT
+
+    def test_foreign_format_treated_as_corrupt(self, tmp_path):
+        g1, _ = loopy_pair()
+        cache = CanonicalFormCache(directory=tmp_path)
+        key = graph_digest(g1, "a")
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps({"format": "something-else", "key": key, "form": None}),
+            encoding="utf-8",
+        )
+        cache.canonical_form(g1, "a", canonical_rooted_form)
+        assert cache.stats.disk_corrupt == 1
+
+    def test_env_dir_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = CanonicalFormCache()
+        assert cache.directory == tmp_path / "envcache"
+        memory_only = CanonicalFormCache(use_disk=False)
+        assert memory_only.directory is None
+
+    def test_installed_cache_serves_isomorphism(self):
+        g1, g2 = loopy_pair()
+        cache = CanonicalFormCache(use_disk=False)
+        with use_canonical_cache(cache):
+            from repro.graphs.isomorphism import canonical_form_of
+
+            canonical_form_of(g1, "a")
+            canonical_form_of(g2, "a")
+        assert cache.stats.hits == 1
+
+
+class TestGrid:
+    def test_expand_is_sorted_and_complete(self):
+        cells = expand(e1_grid())
+        assert len(cells) == 12  # 2 algorithms x 6 deltas
+        assert cells == sorted(cells)
+        assert all(cell.chain == "ec" for cell in cells)
+
+    def test_cell_key_roundtrip(self):
+        cell = Cell("greedy", 5, "ec", 0)
+        assert cell.key == "greedy/d5/ec/s0"
+        assert Cell.from_dict(cell.as_dict()) == cell
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            expand(GridSpec(algorithms=("oracle",)))
+
+    def test_rejects_deep_chain_for_non_proposal(self):
+        with pytest.raises(ValueError, match="proposal"):
+            expand(GridSpec(algorithms=("greedy",), chains=("po",)))
+
+    def test_from_mapping_accepts_scalars(self):
+        spec = GridSpec.from_mapping({"algorithms": "greedy", "deltas": 4})
+        assert spec.algorithms == ("greedy",)
+        assert spec.deltas == (4,)
+
+    def test_run_cell_row_is_deterministic(self):
+        cell = Cell("greedy", 3)
+        row1 = run_cell(cell)
+        row2 = run_cell(cell)
+        assert row1 == row2
+        assert row1["status"] == "ok"
+        assert row1["witness_depth"] == row1["expected_depth"] == 1
+
+
+class TestResultStore:
+    def test_rows_tolerate_torn_trailing_line(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(0, {"key": "a", "status": "ok"})
+        with store.shard_path(0).open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "b", "status"')  # the killed writer's torn line
+        assert [row["key"] for row in store.rows()] == ["a"]
+
+    def test_duplicate_keys_keep_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(0, {"key": "a", "status": "ok"})
+        store.append(1, {"key": "a", "status": "refuted"})
+        assert store.completed()["a"]["status"] == "ok"
+
+
+class TestRunSweep:
+    def test_parallel_rows_byte_identical_to_serial(self):
+        grid = smoke_grid()
+        serial = run_sweep(grid, workers=0)
+        parallel = run_sweep(grid, workers=2)
+        assert json.dumps(serial.rows, sort_keys=True) == json.dumps(
+            parallel.rows, sort_keys=True
+        )
+        assert serial.cache.hits > 0
+        assert parallel.cache.hits > 0
+
+    def test_merged_trace_reports_cache_hits(self):
+        result = run_sweep(GridSpec(algorithms=("greedy",), deltas=(3, 4)), workers=0)
+        assert result.trace["cache"]["hits"] == result.cache.hits > 0
+        counters = {
+            (row["name"], tuple(sorted(row["labels"].items())))
+            for row in result.trace["metrics"]["counters"]
+        }
+        assert ("engine.canonical_cache", (("outcome", "hit"),)) in counters
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        grid = GridSpec(algorithms=("greedy",), deltas=(3, 4, 5))
+        first = run_sweep(grid, workers=0, out_dir=tmp_path)
+        assert first.resumed == 0
+        # drop one shard row: simulate a sweep killed before finishing
+        store = ResultStore(tmp_path)
+        surviving = [row for row in store.rows() if row["delta"] != 5]
+        for path in tmp_path.glob("shard-*.jsonl"):
+            path.unlink()
+        for row in surviving:
+            store.append(0, row)
+        second = run_sweep(grid, workers=0, out_dir=tmp_path, resume=True)
+        assert second.resumed == 2
+        assert len(second.rows) == 3
+        assert json.dumps(second.rows, sort_keys=True) == json.dumps(
+            first.rows, sort_keys=True
+        )
+        # only the missing cell was recomputed
+        assert second.cache.lookups < first.cache.lookups
+
+    def test_resume_without_out_dir_raises(self):
+        with pytest.raises(ValueError, match="out_dir"):
+            run_sweep(smoke_grid(), resume=True)
+
+    def test_out_dir_artifacts(self, tmp_path):
+        run_sweep(GridSpec(algorithms=("greedy",), deltas=(3,)), out_dir=tmp_path)
+        summary = json.loads((tmp_path / "summary.json").read_text(encoding="utf-8"))
+        assert summary["cells"] == 1
+        assert summary["rows"][0]["key"] == "greedy/d3/ec/s0"
+        assert (tmp_path / "trace.json").exists()
+
+    def test_shared_disk_cache_feeds_second_sweep(self, tmp_path):
+        grid = GridSpec(algorithms=("greedy",), deltas=(3, 4))
+        run_sweep(grid, workers=0, cache_dir=tmp_path)
+        again = run_sweep(grid, workers=0, cache_dir=tmp_path)
+        assert again.cache.disk_hits > 0
+
+    def test_no_cache_disables_memoization(self):
+        result = run_sweep(GridSpec(algorithms=("greedy",), deltas=(3,)), use_cache=False)
+        assert result.cache.lookups == 0
+
+    def test_sweep_nests_under_ambient_tracer(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_sweep(GridSpec(algorithms=("greedy",), deltas=(3,)))
+        names = [span.name for span in tracer.iter_spans()]
+        assert "engine.sweep" in names
+
+
+class TestMergeTraceDocuments:
+    def test_counters_sum_and_roots_annotated(self):
+        docs = []
+        for index in range(2):
+            tracer = Tracer()
+            with use_tracer(tracer):
+                with tracer.span("work", shard=index):
+                    tracer.metrics.counter("jobs", kind="x").inc(2)
+            from repro.obs import trace_document
+
+            docs.append(trace_document(tracer))
+        merged = merge_trace_documents(docs, command="test")
+        assert merged["merged_from"] == 2
+        jobs = [
+            row
+            for row in merged["metrics"]["counters"]
+            if row["name"] == "jobs"
+        ]
+        assert jobs[0]["value"] == 4
+        assert [span["attrs"]["merged_from"] for span in merged["spans"]] == [0, 1]

@@ -223,6 +223,66 @@ class TestClockExemption:
         assert offenders == {str(SRC / "repro" / "obs" / "tracer.py")}
 
 
+POOL_ONLY = """
+import multiprocessing
+
+def fan_out(jobs):
+    with multiprocessing.get_context("spawn").Pool(2) as pool:
+        return pool.map(len, jobs)
+"""
+
+POOL_AND_RANDOM = """
+import multiprocessing
+import random
+
+def shuffle_jobs(jobs):
+    random.shuffle(jobs)
+    return jobs
+"""
+
+
+class TestWorkerExemption:
+    """The sweep engine's pool is the sanctioned process spawner — only that.
+
+    Worker scheduling is nondeterministic, so like the clock exemption this
+    one is surgical: it relaxes the worker-pool import checks alone, for
+    exactly the modules in ``LintConfig.worker_modules`` or carrying a
+    ``# repro: workers`` marker.
+    """
+
+    def test_pool_module_is_sanctioned_by_config(self):
+        assert "repro.engine.pool" in DEFAULT_CONFIG.worker_modules
+        assert lint_source(POOL_ONLY, module="repro.engine.pool") == []
+
+    def test_other_modules_flag_worker_imports(self):
+        findings = lint_source(POOL_ONLY, module="repro.core.adversary")
+        assert rules_of(findings) == ["determinism"]
+        assert any("workers" in f.message for f in findings)
+
+    def test_from_import_and_threading_are_flagged(self):
+        source = "from concurrent.futures import ProcessPoolExecutor\nimport threading\n"
+        findings = lint_source(source, module="fixture")
+        assert len(findings) == 2
+        assert rules_of(findings) == ["determinism"]
+
+    def test_workers_marker_line_is_honoured(self):
+        marked = "# repro: workers\n" + POOL_ONLY
+        assert lint_source(marked, module="fixture") == []
+
+    def test_exemption_does_not_cover_randomness(self):
+        findings = lint_source(POOL_AND_RANDOM, module="repro.engine.pool")
+        assert rules_of(findings) == ["determinism"]
+        assert all("random" in f.message for f in findings)
+
+    def test_shipped_pool_is_the_only_spawner_in_src(self):
+        from dataclasses import replace
+
+        strict = replace(DEFAULT_CONFIG, worker_modules=frozenset())
+        findings = lint_paths([SRC], config=strict, select=["determinism"])
+        offenders = {f.path for f in findings}
+        assert offenders == {str(SRC / "repro" / "engine" / "pool.py")}
+
+
 # ---------------------------------------------------------------------------
 # rule: exact-arith
 # ---------------------------------------------------------------------------
