@@ -269,6 +269,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the 2-minute smoke grid (greedy+proposal, Delta in {3,4})",
     )
+    sweep.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fail (exit 1) when the canonical-form cache hit rate falls "
+        "below RATE (0..1) — a CI guard for the digest-keyed cache",
+    )
 
     ver = sub.add_parser(
         "verify",
@@ -527,6 +535,19 @@ def _cmd_sweep(args) -> int:
         }
         _emit_json(args, json_.dumps(payload, sort_keys=True))
     refuted = sum(1 for row in result.rows if row["status"] == "refuted")
+    if args.min_hit_rate is not None:
+        rate = result.cache.hit_rate
+        if rate < args.min_hit_rate:
+            print(
+                f"canonical-cache hit rate {rate:.3f} below required "
+                f"{args.min_hit_rate:.3f} "
+                f"({result.cache.hits}/{result.cache.lookups} lookups)"
+            )
+            return 1
+        print(
+            f"canonical-cache hit rate {rate:.3f} "
+            f"(>= {args.min_hit_rate:.3f} required)"
+        )
     return 0 if refuted == 0 else 1
 
 

@@ -87,6 +87,7 @@ def checked_run(
         algorithm=algorithm.name,
         nodes=g.num_nodes(),
         edges=g.num_edges(),
+        graph=g.digest[:12],
         **attribution,
     ) as span:
         try:
@@ -208,8 +209,9 @@ def run_adversary(
                     graph=graph_g,
                 )
             removed = positive[0]
-            graph_h = graph_g.copy()
+            graph_h = graph_g.fork()
             graph_h.remove_edge(removed.eid)
+            _count_fork_sharing(tracer, algorithm.name, graph_g, graph_h)
             out_h = checked_run(algorithm, graph_h, tracer=tracer, delta=delta, level=0)
             node_h = node_g
             color = _first_disagreeing_color(
@@ -359,6 +361,29 @@ def hard_instance_pair(
     witness = run_adversary(algorithm, delta)
     top = witness.steps[-1]
     return top.graph_g, top.graph_h, top.node_g, top.node_h, top.color
+
+
+def _count_fork_sharing(tracer, algorithm: str, parent: ECGraph, child: ECGraph) -> None:
+    """Record how much structure a persistent fork reused instead of copying.
+
+    ``H_0 = G_0 - e`` used to be a full deep copy of ``G_0``; a kernel fork
+    shares every untouched per-node slot map and every surviving edge record
+    by identity.  The two counters make that saved work visible in merged
+    sweep traces (``adversary.fork_shared``, ``kind`` label) the same way
+    the canonical cache reports its hit rate.
+    """
+    pk, ck = parent.kernel, child.kernel
+    shared_slots = pk.shared_slot_maps(ck)
+    shared_edges = sum(
+        1 for e in ck.edges() if pk.has_edge_id(e.eid) and pk.edge(e.eid) is e
+    )
+    metrics = tracer.metrics
+    metrics.counter("adversary.fork_shared", algorithm=algorithm, kind="slot_maps").inc(
+        shared_slots
+    )
+    metrics.counter("adversary.fork_shared", algorithm=algorithm, kind="edges").inc(
+        shared_edges
+    )
 
 
 def _normalise(outputs: NodeOutputs):

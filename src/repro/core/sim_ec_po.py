@@ -42,7 +42,11 @@ class ECFromPO(ECWeightAlgorithm):
 
         tracer = current_tracer()
         with tracer.span(
-            "sim.ec_from_po", algorithm=self.name, nodes=g.num_nodes(), edges=g.num_edges()
+            "sim.ec_from_po",
+            algorithm=self.name,
+            nodes=g.num_nodes(),
+            edges=g.num_edges(),
+            graph=g.digest[:12],
         ) as span:
             doubled = po_double_from_ec(g)
             po_out = self.po_algorithm.run_on(doubled)

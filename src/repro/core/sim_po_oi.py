@@ -85,7 +85,11 @@ class POFromOI(POWeightAlgorithm):
         tracer = current_tracer()
         tracer.metrics.counter("sim.layer_runs", layer="po_from_oi", algorithm=self.name).inc()
         with tracer.span(
-            "sim.po_from_oi", algorithm=self.name, nodes=g.num_nodes(), t=t
+            "sim.po_from_oi",
+            algorithm=self.name,
+            nodes=g.num_nodes(),
+            t=t,
+            graph=g.digest[:12],
         ) as span:
             for v in g.nodes():
                 cover = universal_cover_po(g, v, t)

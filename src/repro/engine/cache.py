@@ -9,11 +9,13 @@ of a step frequently coincide as labelled graphs, and a resumed or repeated
 sweep re-canonicalises everything it already saw.
 
 :class:`CanonicalFormCache` memoizes the *top-level* canonical form keyed by
-:func:`graph_digest` — a SHA-256 over the sorted node labels, the sorted
-``(u, v, colour)`` edge list and the root label.  The digest is a pure
-function of the labelled rooted graph, so a hit can only ever return the
-form the recursion would have computed; edge ids (which vary across copies)
-are deliberately excluded.
+:func:`graph_digest` — the rooted digest of the graph's frozen
+:class:`~repro.graphs.kernel.GraphKernel`, maintained incrementally by the
+builders so a lookup no longer re-walks the graph.  The digest is a pure
+function of the labelled rooted graph (node labels, ``(u, v, colour)`` edge
+multiset, root), so a hit can only ever return the form the recursion would
+have computed; edge ids (which vary across copies) are deliberately
+excluded.
 
 Two tiers:
 
@@ -38,7 +40,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Hashable, Optional, Tuple
 
+from ..graphs.kernel import GraphKernel
 from ..graphs.multigraph import ECGraph
+from ..graphs.serialize import decode_label, encode_label
 from ..obs.tracer import current_tracer
 
 Node = Hashable
@@ -60,12 +64,21 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 def graph_digest(g: ECGraph, root: Optional[Node] = None) -> str:
     """Stable content digest of a (rooted) EC-graph.
 
-    Hashes the sorted node-label reprs, the sorted ``(u, v, colour)`` edge
-    triples (loops included, endpoints order-normalised) and the root label.
-    Two graphs share a digest iff they have identical labelled structure —
-    exactly the condition under which their canonical rooted forms agree.
-    Edge ids are excluded: they differ between otherwise identical copies.
+    Delegates to the graph's frozen :class:`~repro.graphs.kernel.GraphKernel`
+    snapshot, whose digest is maintained *incrementally* as edges are added —
+    after the first freeze each lookup is O(1) instead of re-walking the
+    whole graph.  Two graphs share a digest iff they have identical labelled
+    structure (node labels, ``(u, v, colour)`` edge multiset, root) — exactly
+    the condition under which their canonical rooted forms agree.  Edge ids
+    are excluded: they differ between otherwise identical copies.
+
+    A legacy JSON-walk path handles foreign graph-likes without a kernel.
     """
+    if isinstance(g, GraphKernel):
+        return g.rooted_digest(root)
+    kernel = getattr(g, "kernel", None)
+    if isinstance(kernel, GraphKernel):
+        return kernel.rooted_digest(root)
     edges = sorted(
         tuple(sorted((repr(e.u), repr(e.v)))) + (repr(e.color),) for e in g.edges()
     )
@@ -80,25 +93,11 @@ def graph_digest(g: ECGraph, root: Optional[Node] = None) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def encode_form(form: Any) -> Any:
-    """Encode a canonical form (nested tuples of colours and markers) as JSON.
-
-    Tuples become ``{"t": [...]}`` exactly as in
-    :mod:`repro.graphs.serialize`, so the round trip is lossless for the
-    int/str leaves canonical forms are built from.
-    """
-    if isinstance(form, tuple):
-        return {"t": [encode_form(x) for x in form]}
-    if isinstance(form, (str, int, bool)) or form is None:
-        return form
-    raise TypeError(f"cannot encode canonical-form leaf of type {type(form).__name__}")
-
-
-def decode_form(data: Any) -> Any:
-    """Inverse of :func:`encode_form`."""
-    if isinstance(data, dict) and set(data.keys()) == {"t"}:
-        return tuple(decode_form(x) for x in data["t"])
-    return data
+# Canonical forms are nested tuples of int/str leaves — the exact shape the
+# graph serializer's tagged label codec handles, so the two layers share one
+# implementation (repro.graphs.serialize).
+encode_form = encode_label
+decode_form = decode_label
 
 
 @dataclass

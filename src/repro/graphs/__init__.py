@@ -1,6 +1,16 @@
 """Graph substrate: edge-coloured multigraphs, PO digraphs, lifts, covers,
-factor graphs, neighbourhoods and graph families (paper, Section 3)."""
+factor graphs, neighbourhoods and graph families (paper, Section 3).
 
+Everything is backed by the immutable, digest-addressed kernel in
+:mod:`repro.graphs.kernel`; :class:`ECGraph` and :class:`POGraph` are thin
+mutable views over it (see ``docs/graph_kernel.md``)."""
+
+from .kernel import (
+    KERNEL_DIGEST_VERSION,
+    FrozenKernelError,
+    GraphBuilder,
+    GraphKernel,
+)
 from .multigraph import ECGraph, Edge, ImproperColoringError
 from .digraph import POGraph, DiEdge, ImproperPOColoringError
 from .neighborhoods import Ball, ball
@@ -23,10 +33,20 @@ from .factor import factor_graph, factor_graph_po, stable_partition, stable_part
 from .loopy import is_k_loopy, is_loopy, loopiness, min_direct_loops
 from .ports import po_double_from_ec, po_from_port_numbering, port_numbering_from_po
 from .render import ascii_summary, to_dot, witness_pair_to_dot
-from .serialize import graph_from_json, graph_to_json, witness_step_to_json
+from .serialize import (
+    from_json,
+    graph_from_json,
+    graph_to_json,
+    to_json,
+    witness_step_to_json,
+)
 from . import families
 
 __all__ = [
+    "KERNEL_DIGEST_VERSION",
+    "FrozenKernelError",
+    "GraphBuilder",
+    "GraphKernel",
     "ECGraph",
     "Edge",
     "ImproperColoringError",
@@ -63,8 +83,10 @@ __all__ = [
     "ascii_summary",
     "to_dot",
     "witness_pair_to_dot",
+    "from_json",
     "graph_from_json",
     "graph_to_json",
+    "to_json",
     "witness_step_to_json",
     "families",
 ]

@@ -13,37 +13,25 @@ orientation definition; the conversions live in :mod:`repro.graphs.ports`.
 Loops follow the paper's convention (Section 3.5, Figure 3): a *directed* loop
 contributes **+2** to its endpoint's degree — once as the tail (an outgoing
 colour slot) and once as the head (an incoming colour slot).
+
+Like :class:`repro.graphs.multigraph.ECGraph`, :class:`POGraph` is a thin
+mutable view over the :mod:`repro.graphs.kernel` substrate (directed slot
+discipline): ``.kernel`` freezes the current state into a digest-addressed
+:class:`~repro.graphs.kernel.GraphKernel` and :meth:`POGraph.fork`/:meth:`copy`
+derive structurally-shared copies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from .kernel import DiEdge, GraphBuilder, GraphKernel, ImproperPOColoringError
 
 Node = Hashable
 Color = int
 EdgeId = int
 
 __all__ = ["DiEdge", "POGraph", "ImproperPOColoringError"]
-
-
-class ImproperPOColoringError(ValueError):
-    """Raised when an arc insertion would clash with an existing colour slot."""
-
-
-@dataclass(frozen=True)
-class DiEdge:
-    """A directed coloured edge (arc) from ``tail`` to ``head``."""
-
-    eid: EdgeId
-    tail: Node
-    head: Node
-    color: Color
-
-    @property
-    def is_loop(self) -> bool:
-        """Whether this arc is a directed loop (tail equals head)."""
-        return self.tail == self.head
 
 
 class POGraph:
@@ -55,20 +43,58 @@ class POGraph:
     ``v`` and counts +2 towards ``degree(v)``.
     """
 
+    __slots__ = ("_b", "_k")
+
     def __init__(self) -> None:
-        self._edges: Dict[EdgeId, DiEdge] = {}
-        self._out: Dict[Node, Dict[Color, EdgeId]] = {}
-        self._in: Dict[Node, Dict[Color, EdgeId]] = {}
-        self._next_eid: EdgeId = 0
+        self._b = GraphBuilder(directed=True)
+        self._k: Optional[GraphKernel] = None
+
+    # ------------------------------------------------------------------
+    # kernel plumbing
+    # ------------------------------------------------------------------
+    @classmethod
+    def _wrap(cls, builder: GraphBuilder) -> "POGraph":
+        g = cls.__new__(cls)
+        g._b = builder
+        g._k = None
+        return g
+
+    @classmethod
+    def from_kernel(cls, kernel: GraphKernel) -> "POGraph":
+        """A mutable view forked from a frozen kernel (shares all structure)."""
+        if not kernel.directed:
+            raise ValueError("POGraph views are directed; got an EC kernel")
+        g = cls._wrap(kernel.builder())
+        g._k = kernel
+        return g
+
+    @property
+    def kernel(self) -> GraphKernel:
+        """The frozen :class:`GraphKernel` snapshot of the current state."""
+        if self._k is None:
+            self._k = self._b.freeze()
+        return self._k
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the current state (see :class:`GraphKernel`)."""
+        return self.kernel.digest
+
+    def rooted_digest(self, root: Optional[Node]) -> str:
+        """Digest of the graph with a distinguished root label."""
+        return self.kernel.rooted_digest(root)
+
+    def fork(self) -> "POGraph":
+        """An independent structurally-shared copy (labels and ids preserved)."""
+        return POGraph.from_kernel(self.kernel)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self, v: Node) -> Node:
         """Add an isolated node (no-op if already present)."""
-        self._out.setdefault(v, {})
-        self._in.setdefault(v, {})
-        return v
+        self._k = None
+        return self._b.add_node(v)
 
     def add_edge(self, tail: Node, head: Node, color: Color, eid: Optional[EdgeId] = None) -> EdgeId:
         """Add an arc ``tail -> head`` of the given colour.
@@ -76,86 +102,74 @@ class POGraph:
         Raises :class:`ImproperPOColoringError` if ``tail`` already has an
         outgoing arc of this colour or ``head`` already has an incoming one.
         """
-        self.add_node(tail)
-        self.add_node(head)
-        if color in self._out[tail]:
-            raise ImproperPOColoringError(
-                f"node {tail!r} already has an outgoing arc of colour {color}"
-            )
-        if color in self._in[head]:
-            raise ImproperPOColoringError(
-                f"node {head!r} already has an incoming arc of colour {color}"
-            )
-        if eid is None:
-            eid = self._next_eid
-        elif eid in self._edges:
-            raise ValueError(f"edge id {eid} already in use")
-        self._next_eid = max(self._next_eid, eid) + 1
-        arc = DiEdge(eid, tail, head, color)
-        self._edges[eid] = arc
-        self._out[tail][color] = eid
-        self._in[head][color] = eid
-        return eid
+        self._k = None
+        return self._b.add_edge(tail, head, color, eid=eid)
 
     def remove_edge(self, eid: EdgeId) -> DiEdge:
         """Remove the arc with id ``eid`` and return its record."""
-        arc = self._edges.pop(eid)
-        del self._out[arc.tail][arc.color]
-        del self._in[arc.head][arc.color]
-        return arc
+        self._k = None
+        return self._b.remove_edge(eid)
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def nodes(self) -> List[Node]:
         """List of all nodes."""
-        return list(self._out.keys())
+        return self._b.nodes()
 
     def edges(self) -> List[DiEdge]:
         """List of all arc records."""
-        return list(self._edges.values())
+        return self._b.edges()
 
     def edge(self, eid: EdgeId) -> DiEdge:
         """The arc with id ``eid``."""
-        return self._edges[eid]
+        return self._b.edge(eid)
 
     def has_node(self, v: Node) -> bool:
         """Whether ``v`` is a node."""
-        return v in self._out
+        return self._b.has_node(v)
 
     def num_nodes(self) -> int:
         """Number of nodes."""
-        return len(self._out)
+        return self._b.num_nodes()
 
     def num_edges(self) -> int:
         """Number of arcs (a loop counts once as an arc)."""
-        return len(self._edges)
+        return self._b.num_edges()
 
     def out_colors(self, v: Node) -> List[Color]:
         """Colours of outgoing arcs at ``v``."""
-        return list(self._out[v].keys())
+        return [c for (kind, c) in self._b._slots[v] if kind == "out"]
 
     def in_colors(self, v: Node) -> List[Color]:
         """Colours of incoming arcs at ``v``."""
-        return list(self._in[v].keys())
+        return [c for (kind, c) in self._b._slots[v] if kind == "in"]
 
     def out_edge(self, v: Node, color: Color) -> Optional[DiEdge]:
         """The outgoing colour-``color`` arc at ``v``, or ``None``."""
-        eid = self._out[v].get(color)
-        return None if eid is None else self._edges[eid]
+        eid = self._b._slots[v].get(("out", color))
+        return None if eid is None else self._b._edges[eid]
 
     def in_edge(self, v: Node, color: Color) -> Optional[DiEdge]:
         """The incoming colour-``color`` arc at ``v``, or ``None``."""
-        eid = self._in[v].get(color)
-        return None if eid is None else self._edges[eid]
+        eid = self._b._slots[v].get(("in", color))
+        return None if eid is None else self._b._edges[eid]
 
     def out_edges(self, v: Node) -> List[DiEdge]:
         """Outgoing arcs at ``v`` in colour order (loops included)."""
-        return [self._edges[eid] for _, eid in sorted(self._out[v].items())]
+        edges = self._b._edges
+        pairs = sorted(
+            (c, eid) for (kind, c), eid in self._b._slots[v].items() if kind == "out"
+        )
+        return [edges[eid] for _, eid in pairs]
 
     def in_edges(self, v: Node) -> List[DiEdge]:
         """Incoming arcs at ``v`` in colour order (loops included)."""
-        return [self._edges[eid] for _, eid in sorted(self._in[v].items())]
+        edges = self._b._edges
+        pairs = sorted(
+            (c, eid) for (kind, c), eid in self._b._slots[v].items() if kind == "in"
+        )
+        return [edges[eid] for _, eid in pairs]
 
     def incident_edges(self, v: Node) -> List[DiEdge]:
         """All arcs with ``v`` as tail or head; loops appear once."""
@@ -166,11 +180,11 @@ class POGraph:
 
     def degree(self, v: Node) -> int:
         """PO degree: out-slots + in-slots.  A directed loop counts +2."""
-        return len(self._out[v]) + len(self._in[v])
+        return len(self._b._slots[v])
 
     def max_degree(self) -> int:
         """Maximum PO degree over all nodes."""
-        return max((self.degree(v) for v in self._out), default=0)
+        return max((len(s) for s in self._b._slots.values()), default=0)
 
     def loop_count(self, v: Node) -> int:
         """Number of directed loops at ``v``."""
@@ -178,7 +192,7 @@ class POGraph:
 
     def colors(self) -> List[Color]:
         """Sorted list of colours used."""
-        return sorted({e.color for e in self._edges.values()})
+        return sorted({e.color for e in self._b._edges.values()})
 
     def neighbors(self, v: Node) -> List[Node]:
         """Distinct nodes adjacent to ``v`` in either direction."""
@@ -210,39 +224,34 @@ class POGraph:
 
     def is_connected(self) -> bool:
         """Whether the underlying undirected graph is connected."""
-        if not self._out:
+        if self.num_nodes() == 0:
             return True
-        src = next(iter(self._out))
-        return len(self.bfs_distances(src)) == len(self._out)
+        src = next(iter(self._b._slots))
+        return len(self.bfs_distances(src)) == self.num_nodes()
 
     def copy(self) -> "POGraph":
-        """Deep copy preserving labels and edge ids."""
-        g = POGraph()
-        for v in self._out:
-            g.add_node(v)
-        for e in self._edges.values():
-            g.add_edge(e.tail, e.head, e.color, eid=e.eid)
-        return g
+        """A copy preserving labels and edge ids (a structurally-shared fork)."""
+        return self.fork()
 
     def validate(self) -> None:
         """Check internal consistency; raises ``AssertionError`` on corruption."""
-        for v, slots in self._out.items():
-            for color, eid in slots.items():
-                e = self._edges[eid]
-                assert e.color == color and e.tail == v
-        for v, slots in self._in.items():
-            for color, eid in slots.items():
-                e = self._edges[eid]
-                assert e.color == color and e.head == v
+        for v, slots in self._b._slots.items():
+            for (kind, color), eid in slots.items():
+                e = self._b._edges[eid]
+                assert e.color == color
+                assert (e.tail if kind == "out" else e.head) == v
+        for e in self._b._edges.values():
+            assert self._b._slots[e.tail][("out", e.color)] == e.eid
+            assert self._b._slots[e.head][("in", e.color)] == e.eid
 
     def __contains__(self, v: Node) -> bool:
-        return v in self._out
+        return self._b.has_node(v)
 
     def __iter__(self) -> Iterator[Node]:
-        return iter(self._out)
+        return iter(self._b._slots)
 
     def __len__(self) -> int:
-        return len(self._out)
+        return self._b.num_nodes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"POGraph(n={self.num_nodes()}, m={self.num_edges()}, colors={self.colors()})"

@@ -25,6 +25,7 @@ import random
 from typing import Callable, Dict, Hashable, Tuple
 
 from .digraph import POGraph
+from .kernel import GraphBuilder
 from .multigraph import ECGraph
 
 Node = Hashable
@@ -107,18 +108,13 @@ def unfold_loop(g: ECGraph, loop_eid: int) -> Tuple[ECGraph, Dict[Node, Node], i
     if not e.is_loop:
         raise ValueError(f"edge {loop_eid} is not a loop")
     anchor = e.u
-    gg = ECGraph()
-    alpha: Dict[Node, Node] = {}
-    for side in (0, 1):
-        for v in g.nodes():
-            gg.add_node((side, v))
-            alpha[(side, v)] = v
-        for f in g.edges():
-            if f.eid == loop_eid:
-                continue
-            gg.add_edge((side, f.u), (side, f.v), f.color)
-    new_eid = gg.add_edge((0, anchor), (1, anchor), e.color)
-    return gg, alpha, new_eid
+    builder = GraphBuilder(directed=False)
+    mappings = builder.double(g, tags=(0, 1), skip_eids=(loop_eid,))
+    alpha: Dict[Node, Node] = {
+        tagged: v for mapping in mappings for v, tagged in mapping.items()
+    }
+    new_eid = builder.add_edge((0, anchor), (1, anchor), e.color)
+    return ECGraph._wrap(builder), alpha, new_eid
 
 
 def mix(
@@ -141,19 +137,11 @@ def mix(
         raise ValueError("both edges must be loops")
     if e.color != f.color:
         raise ValueError(f"loop colours differ: {e.color!r} vs {f.color!r}")
-    gh = ECGraph()
-    for v in g.nodes():
-        gh.add_node((0, v))
-    for v in h.nodes():
-        gh.add_node((1, v))
-    for a in g.edges():
-        if a.eid != g_loop_eid:
-            gh.add_edge((0, a.u), (0, a.v), a.color)
-    for a in h.edges():
-        if a.eid != h_loop_eid:
-            gh.add_edge((1, a.u), (1, a.v), a.color)
-    new_eid = gh.add_edge((0, e.u), (1, f.u), e.color)
-    return gh, new_eid
+    builder = GraphBuilder(directed=False)
+    builder.merge(g, tag=0, skip_eids=(g_loop_eid,))
+    builder.merge(h, tag=1, skip_eids=(h_loop_eid,))
+    new_eid = builder.add_edge((0, e.u), (1, f.u), e.color)
+    return ECGraph._wrap(builder), new_eid
 
 
 def random_two_lift(g: ECGraph, rng: random.Random) -> Tuple[ECGraph, Dict[Node, Node]]:
@@ -164,12 +152,7 @@ def random_two_lift(g: ECGraph, rng: random.Random) -> Tuple[ECGraph, Dict[Node,
     between the two copies of its endpoint, a straight loop stays a loop on
     each side.  Returns the lift and its covering map.
     """
-    lifted = ECGraph()
-    alpha: Dict[Node, Node] = {}
-    for side in (0, 1):
-        for v in g.nodes():
-            lifted.add_node((side, v))
-            alpha[(side, v)] = v
+    lifted, alpha = _doubled_node_scaffold(g)
     for e in g.edges():
         crossed = rng.random() < 0.5
         if e.is_loop:
@@ -190,12 +173,7 @@ def random_two_lift(g: ECGraph, rng: random.Random) -> Tuple[ECGraph, Dict[Node,
 
 def bipartite_double_cover(g: ECGraph) -> Tuple[ECGraph, Dict[Node, Node]]:
     """The bipartite double cover: the 2-lift with *every* edge crossed."""
-    lifted = ECGraph()
-    alpha: Dict[Node, Node] = {}
-    for side in (0, 1):
-        for v in g.nodes():
-            lifted.add_node((side, v))
-            alpha[(side, v)] = v
+    lifted, alpha = _doubled_node_scaffold(g)
     for e in g.edges():
         if e.is_loop:
             lifted.add_edge((0, e.u), (1, e.u), e.color)
@@ -203,3 +181,13 @@ def bipartite_double_cover(g: ECGraph) -> Tuple[ECGraph, Dict[Node, Node]]:
             lifted.add_edge((0, e.u), (1, e.v), e.color)
             lifted.add_edge((1, e.u), (0, e.v), e.color)
     return lifted, alpha
+
+
+def _doubled_node_scaffold(g: ECGraph) -> Tuple[ECGraph, Dict[Node, Node]]:
+    """Two tagged copies of ``g``'s node set with no edges, plus the covering
+    map — the shared scaffold every explicit 2-lift starts from."""
+    builder = GraphBuilder(directed=False)
+    skip = [e.eid for e in g.edges()]
+    mappings = builder.double(g, tags=(0, 1), skip_eids=skip)
+    alpha = {tagged: v for mapping in mappings for v, tagged in mapping.items()}
+    return ECGraph._wrap(builder), alpha

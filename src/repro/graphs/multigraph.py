@@ -12,6 +12,14 @@ any given colour.  This rigidity is what makes the whole lower-bound machinery
 tractable: radius-``t`` views are determined by colour walks, universal covers
 unfold deterministically, and the simulator can use colours as ports.
 
+Since the kernel refactor, :class:`ECGraph` is a thin mutable *view* over the
+immutable :mod:`repro.graphs.kernel` substrate: mutations go through a
+copy-on-write :class:`~repro.graphs.kernel.GraphBuilder`, ``.kernel``
+freezes (and caches) the current state as a digest-addressed
+:class:`~repro.graphs.kernel.GraphKernel`, and :meth:`ECGraph.fork` derives
+an independent graph sharing all untouched structure with this one — which
+is also what :meth:`copy` now does.
+
 Example
 -------
 >>> g = ECGraph()
@@ -27,55 +35,15 @@ Example
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from .kernel import Edge, GraphBuilder, GraphKernel, ImproperColoringError
 
 Node = Hashable
 Color = int
 EdgeId = int
 
 __all__ = ["Edge", "ECGraph", "ImproperColoringError"]
-
-
-class ImproperColoringError(ValueError):
-    """Raised when an edge insertion would violate proper edge colouring."""
-
-
-@dataclass(frozen=True)
-class Edge:
-    """An undirected coloured edge.
-
-    Attributes
-    ----------
-    eid:
-        Unique integer id of the edge within its graph.
-    u, v:
-        Endpoints.  For a loop, ``u == v``.
-    color:
-        The edge colour (a positive integer in all paper constructions).
-    """
-
-    eid: EdgeId
-    u: Node
-    v: Node
-    color: Color
-
-    @property
-    def is_loop(self) -> bool:
-        """Whether this edge is a loop (both endpoints equal)."""
-        return self.u == self.v
-
-    def endpoints(self) -> Tuple[Node, Node]:
-        """Return the pair of endpoints ``(u, v)``."""
-        return (self.u, self.v)
-
-    def other(self, x: Node) -> Node:
-        """Return the endpoint different from ``x`` (itself for a loop)."""
-        if x == self.u:
-            return self.v
-        if x == self.v:
-            return self.u
-        raise KeyError(f"{x!r} is not an endpoint of edge {self.eid}")
 
 
 class ECGraph:
@@ -90,19 +58,68 @@ class ECGraph:
     the graph and stable across copies.
     """
 
+    __slots__ = ("_b", "_k")
+
     def __init__(self) -> None:
-        self._edges: Dict[EdgeId, Edge] = {}
-        # node -> color -> edge id  (properness: one edge per colour per node)
-        self._slots: Dict[Node, Dict[Color, EdgeId]] = {}
-        self._next_eid: EdgeId = 0
+        self._b = GraphBuilder(directed=False)
+        self._k: Optional[GraphKernel] = None
+
+    # ------------------------------------------------------------------
+    # kernel plumbing
+    # ------------------------------------------------------------------
+    @classmethod
+    def _wrap(cls, builder: GraphBuilder) -> "ECGraph":
+        g = cls.__new__(cls)
+        g._b = builder
+        g._k = None
+        return g
+
+    @classmethod
+    def from_kernel(cls, kernel: GraphKernel) -> "ECGraph":
+        """A mutable view forked from a frozen kernel (shares all structure)."""
+        if kernel.directed:
+            raise ValueError("ECGraph views are undirected; got a PO kernel")
+        g = cls._wrap(kernel.builder())
+        g._k = kernel
+        return g
+
+    @property
+    def kernel(self) -> GraphKernel:
+        """The frozen :class:`GraphKernel` snapshot of the current state.
+
+        Computed on first access after any mutation and cached; repeated
+        reads (digest lookups, network snapshots) are O(1).
+        """
+        if self._k is None:
+            self._k = self._b.freeze()
+        return self._k
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the current state (see :class:`GraphKernel`)."""
+        return self.kernel.digest
+
+    def rooted_digest(self, root: Optional[Node]) -> str:
+        """Digest of the graph with a distinguished root label."""
+        return self.kernel.rooted_digest(root)
+
+    def fork(self) -> "ECGraph":
+        """An independent graph sharing all current structure with this one.
+
+        The persistent-builder replacement for deep copying: O(1) apart from
+        two pointer-level dict copies; per-node slot maps and edge records
+        stay shared until either side mutates them.  Node labels, edge ids
+        and iteration order are preserved.
+        """
+        return ECGraph.from_kernel(self.kernel)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self, v: Node) -> Node:
         """Add an isolated node (no-op if present).  Returns the node."""
-        self._slots.setdefault(v, {})
-        return v
+        self._k = None
+        return self._b.add_node(v)
 
     def add_edge(self, u: Node, v: Node, color: Color, eid: Optional[EdgeId] = None) -> EdgeId:
         """Add an edge of the given colour between ``u`` and ``v``.
@@ -112,93 +129,71 @@ class ECGraph:
         explicit ``eid`` may be supplied (used when copying graphs); it must
         be fresh.
         """
-        self.add_node(u)
-        self.add_node(v)
-        if color in self._slots[u]:
-            raise ImproperColoringError(
-                f"node {u!r} already has an incident edge of colour {color}"
-            )
-        if u != v and color in self._slots[v]:
-            raise ImproperColoringError(
-                f"node {v!r} already has an incident edge of colour {color}"
-            )
-        if eid is None:
-            eid = self._next_eid
-        elif eid in self._edges:
-            raise ValueError(f"edge id {eid} already in use")
-        self._next_eid = max(self._next_eid, eid) + 1
-        edge = Edge(eid, u, v, color)
-        self._edges[eid] = edge
-        self._slots[u][color] = eid
-        if u != v:
-            self._slots[v][color] = eid
-        return eid
+        self._k = None
+        return self._b.add_edge(u, v, color, eid=eid)
 
     def remove_edge(self, eid: EdgeId) -> Edge:
         """Remove the edge with id ``eid`` and return its record."""
-        edge = self._edges.pop(eid)
-        del self._slots[edge.u][edge.color]
-        if not edge.is_loop:
-            del self._slots[edge.v][edge.color]
-        return edge
+        self._k = None
+        return self._b.remove_edge(eid)
 
     def remove_node(self, v: Node) -> None:
         """Remove node ``v`` together with all incident edges."""
-        for eid in [e.eid for e in self.incident_edges(v)]:
-            self.remove_edge(eid)
-        del self._slots[v]
+        self._k = None
+        self._b.remove_node(v)
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def nodes(self) -> List[Node]:
         """List of all nodes."""
-        return list(self._slots.keys())
+        return self._b.nodes()
 
     def edges(self) -> List[Edge]:
         """List of all edge records."""
-        return list(self._edges.values())
+        return self._b.edges()
 
     def edge(self, eid: EdgeId) -> Edge:
         """The edge record with id ``eid``."""
-        return self._edges[eid]
+        return self._b.edge(eid)
 
     def has_node(self, v: Node) -> bool:
         """Whether ``v`` is a node of this graph."""
-        return v in self._slots
+        return self._b.has_node(v)
 
     def has_edge_id(self, eid: EdgeId) -> bool:
         """Whether an edge with id ``eid`` exists."""
-        return eid in self._edges
+        return self._b.has_edge_id(eid)
 
     def num_nodes(self) -> int:
         """Number of nodes."""
-        return len(self._slots)
+        return self._b.num_nodes()
 
     def num_edges(self) -> int:
         """Number of edges (loops count once)."""
-        return len(self._edges)
+        return self._b.num_edges()
 
     def degree(self, v: Node) -> int:
         """Degree of ``v``; loops count +1 (EC convention, paper Section 3.5)."""
-        return len(self._slots[v])
+        return len(self._b._slots[v])
 
     def max_degree(self) -> int:
         """Maximum degree over all nodes (0 for the empty graph)."""
-        return max((len(s) for s in self._slots.values()), default=0)
+        return max((len(s) for s in self._b._slots.values()), default=0)
 
     def incident_colors(self, v: Node) -> List[Color]:
         """Colours of edges incident to ``v`` (each appears once)."""
-        return list(self._slots[v].keys())
+        return list(self._b._slots[v].keys())
 
     def incident_edges(self, v: Node) -> List[Edge]:
         """Edge records incident to ``v``, in colour order."""
-        return [self._edges[eid] for _, eid in sorted(self._slots[v].items())]
+        edges = self._b._edges
+        return [edges[eid] for _, eid in sorted(self._b._slots[v].items())]
 
     def edge_at(self, v: Node, color: Color) -> Optional[Edge]:
         """The unique colour-``color`` edge at ``v``, or ``None``."""
-        eid = self._slots[v].get(color)
-        return None if eid is None else self._edges[eid]
+        eid = self._b._slots[v].get(color)
+        return None if eid is None else self._b._edges[eid]
 
     def loops_at(self, v: Node) -> List[Edge]:
         """All loops incident to ``v``, in colour order."""
@@ -219,12 +214,12 @@ class ECGraph:
 
     def colors(self) -> List[Color]:
         """Sorted list of all colours used in the graph."""
-        return sorted({e.color for e in self._edges.values()})
+        return sorted({e.color for e in self._b._edges.values()})
 
     def is_simple(self) -> bool:
         """Whether the graph has no loops and no parallel edges."""
         seen = set()
-        for e in self._edges.values():
+        for e in self._b._edges.values():
             if e.is_loop:
                 return False
             key = frozenset((e.u, e.v))
@@ -235,7 +230,7 @@ class ECGraph:
 
     def non_loop_edges(self) -> List[Edge]:
         """All edges that are not loops."""
-        return [e for e in self._edges.values() if not e.is_loop]
+        return [e for e in self._b._edges.values() if not e.is_loop]
 
     # ------------------------------------------------------------------
     # traversal
@@ -264,7 +259,7 @@ class ECGraph:
 
     def connected_components(self) -> List[List[Node]]:
         """Connected components as lists of nodes."""
-        remaining = set(self._slots.keys())
+        remaining = set(self._b._slots.keys())
         comps: List[List[Node]] = []
         while remaining:
             src = next(iter(remaining))
@@ -289,13 +284,13 @@ class ECGraph:
     # copying / combining
     # ------------------------------------------------------------------
     def copy(self) -> "ECGraph":
-        """Deep copy preserving node labels and edge ids."""
-        g = ECGraph()
-        for v in self._slots:
-            g.add_node(v)
-        for e in self._edges.values():
-            g.add_edge(e.u, e.v, e.color, eid=e.eid)
-        return g
+        """A copy preserving node labels and edge ids.
+
+        Now a structurally-shared :meth:`fork` of the frozen kernel rather
+        than an edge-by-edge rebuild: O(1) apart from pointer-level dict
+        copies.
+        """
+        return self.fork()
 
     def relabel(self, mapping: Dict[Node, Node]) -> "ECGraph":
         """Return a copy with nodes relabelled through ``mapping``.
@@ -303,15 +298,11 @@ class ECGraph:
         ``mapping`` must be injective on the node set; nodes absent from the
         mapping keep their labels.  Edge ids are preserved.
         """
-        image = [mapping.get(v, v) for v in self._slots]
-        if len(set(image)) != len(image):
-            raise ValueError("relabelling is not injective")
-        g = ECGraph()
-        for v in self._slots:
-            g.add_node(mapping.get(v, v))
-        for e in self._edges.values():
-            g.add_edge(mapping.get(e.u, e.u), mapping.get(e.v, e.v), e.color, eid=e.eid)
-        return g
+        builder = GraphBuilder(directed=False)
+        builder.merge(
+            self, relabel=lambda v: mapping.get(v, v), preserve_eids=True
+        )
+        return ECGraph._wrap(builder)
 
     def disjoint_union(self, other: "ECGraph", tags: Tuple[Any, Any] = (0, 1)) -> "ECGraph":
         """Disjoint union; nodes become ``(tag, original_label)`` pairs.
@@ -319,9 +310,9 @@ class ECGraph:
         Edge ids are reassigned (ids from ``self`` first, then ``other``).
         """
         g = ECGraph()
-        for v in self._slots:
+        for v in self.nodes():
             g.add_node((tags[0], v))
-        for v in other._slots:
+        for v in other.nodes():
             g.add_node((tags[1], v))
         for e in self.edges():
             g.add_edge((tags[0], e.u), (tags[0], e.v), e.color)
@@ -334,10 +325,10 @@ class ECGraph:
         keep = set(nodes)
         g = ECGraph()
         for v in keep:
-            if v not in self._slots:
+            if not self._b.has_node(v):
                 raise KeyError(f"{v!r} is not a node")
             g.add_node(v)
-        for e in self._edges.values():
+        for e in self._b._edges.values():
             if e.u in keep and e.v in keep:
                 g.add_edge(e.u, e.v, e.color, eid=e.eid)
         return g
@@ -347,27 +338,27 @@ class ECGraph:
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Check internal consistency; raises ``AssertionError`` on corruption."""
-        for v, slots in self._slots.items():
+        for v, slots in self._b._slots.items():
             for color, eid in slots.items():
-                e = self._edges[eid]
+                e = self._b._edges[eid]
                 assert e.color == color
                 assert v in (e.u, e.v)
-        for e in self._edges.values():
-            assert self._slots[e.u][e.color] == e.eid
-            assert self._slots[e.v][e.color] == e.eid
+        for e in self._b._edges.values():
+            assert self._b._slots[e.u][e.color] == e.eid
+            assert self._b._slots[e.v][e.color] == e.eid
 
     def __contains__(self, v: Node) -> bool:
-        return v in self._slots
+        return self._b.has_node(v)
 
     def __iter__(self) -> Iterator[Node]:
-        return iter(self._slots)
+        return iter(self._b._slots)
 
     def __len__(self) -> int:
-        return len(self._slots)
+        return self._b.num_nodes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ECGraph(n={self.num_nodes()}, m={self.num_edges()}, "
-            f"loops={sum(1 for e in self._edges.values() if e.is_loop)}, "
+            f"loops={sum(1 for e in self.edges() if e.is_loop)}, "
             f"colors={self.colors()})"
         )

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable
 
+from .kernel import GraphKernel
 from .multigraph import ECGraph
 
 Node = Hashable
@@ -43,6 +44,21 @@ class Ball:
     root: Node
     radius: int
     distances: Dict[Node, int]
+
+    @property
+    def kernel(self) -> GraphKernel:
+        """Frozen kernel snapshot of the ball's subgraph."""
+        return self.graph.kernel
+
+    @property
+    def digest(self) -> str:
+        """Rooted content digest of the ball — its identity for caching.
+
+        Two balls share a digest iff their labelled rooted subgraphs agree
+        (the radius is determined by the distances, so it needs no separate
+        encoding for balls extracted by :func:`ball`).
+        """
+        return self.graph.rooted_digest(self.root)
 
     def canonical_form(self):
         """Canonical rooted form of the ball's tree-with-loops.

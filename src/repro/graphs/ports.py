@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Set, Tuple
 
 from .digraph import POGraph
+from .kernel import GraphBuilder
 from .multigraph import ECGraph
 
 Node = Hashable
@@ -110,13 +111,13 @@ def po_double_from_ec(g: ECGraph) -> POGraph:
     ``2 * eid`` runs ``u -> v`` and arc ``2 * eid + 1`` runs ``v -> u`` for a
     non-loop edge ``eid``; a loop ``eid`` maps to the single arc ``2 * eid``.
     """
-    h = POGraph()
+    builder = GraphBuilder(directed=True)
     for v in g.nodes():
-        h.add_node(v)
+        builder.add_node(v)
     for e in g.edges():
         if e.is_loop:
-            h.add_edge(e.u, e.u, e.color, eid=2 * e.eid)
+            builder.add_edge(e.u, e.u, e.color, eid=2 * e.eid)
         else:
-            h.add_edge(e.u, e.v, e.color, eid=2 * e.eid)
-            h.add_edge(e.v, e.u, e.color, eid=2 * e.eid + 1)
-    return h
+            builder.add_edge(e.u, e.v, e.color, eid=2 * e.eid)
+            builder.add_edge(e.v, e.u, e.color, eid=2 * e.eid + 1)
+    return POGraph._wrap(builder)

@@ -67,15 +67,19 @@ class ECNetwork(Network):
 
     def __init__(self, g: ECGraph, globals_: Optional[Dict[str, Any]] = None):
         self.graph = g
+        # Routing reads go to a frozen kernel snapshot taken here: later
+        # mutations of the view cannot skew an in-flight run, and the hot
+        # per-message lookups bypass the mutable-view layer entirely.
+        self.kernel = g.kernel
         self.globals_ = dict(globals_ or {})
         self._contexts = {
             v: NodeContext(
                 node=v,
                 model="EC",
-                ports=tuple(sorted(g.incident_colors(v), key=repr)),
+                ports=tuple(sorted(self.kernel.incident_colors(v), key=repr)),
                 globals=self.globals_,
             )
-            for v in g.nodes()
+            for v in self.kernel.nodes()
         }
 
     def nodes(self) -> List[Node]:
@@ -85,7 +89,7 @@ class ECNetwork(Network):
         return self._contexts[v]
 
     def route(self, v: Node, port: Port, message: Any) -> Tuple[Node, Port]:
-        edge = self.graph.edge_at(v, port)
+        edge = self.kernel.edge_at(v, port)
         if edge is None:
             raise KeyError(f"node {v!r} has no port {port!r}")
         if edge.is_loop:
@@ -100,12 +104,14 @@ class PONetwork(Network):
 
     def __init__(self, g: POGraph, globals_: Optional[Dict[str, Any]] = None):
         self.graph = g
+        # Frozen routing snapshot; see ECNetwork.__init__.
+        self.kernel = g.kernel
         self.globals_ = dict(globals_ or {})
         self._contexts = {}
-        for v in g.nodes():
+        for v in self.kernel.nodes():
             ports = tuple(
-                [("out", c) for c in sorted(g.out_colors(v), key=repr)]
-                + [("in", c) for c in sorted(g.in_colors(v), key=repr)]
+                [("out", c) for c in sorted(self.kernel.out_colors(v), key=repr)]
+                + [("in", c) for c in sorted(self.kernel.in_colors(v), key=repr)]
             )
             self._contexts[v] = NodeContext(node=v, model="PO", ports=ports, globals=self.globals_)
 
@@ -118,12 +124,12 @@ class PONetwork(Network):
     def route(self, v: Node, port: Port, message: Any) -> Tuple[Node, Port]:
         kind, color = port
         if kind == "out":
-            arc = self.graph.out_edge(v, color)
+            arc = self.kernel.out_edge(v, color)
             if arc is None:
                 raise KeyError(f"node {v!r} has no out-port {color!r}")
             return (arc.head, ("in", color))
         if kind == "in":
-            arc = self.graph.in_edge(v, color)
+            arc = self.kernel.in_edge(v, color)
             if arc is None:
                 raise KeyError(f"node {v!r} has no in-port {color!r}")
             return (arc.tail, ("out", color))

@@ -138,6 +138,19 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["sweep", "--deltas", "three"])
 
+    def test_min_hit_rate_satisfied(self, capsys):
+        code = main(["sweep", "--smoke", "--min-hit-rate", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "canonical-cache hit rate" in out
+
+    def test_min_hit_rate_violated(self, capsys):
+        # an impossible floor: the guard must flag it and exit non-zero
+        code = main(["sweep", "--smoke", "--min-hit-rate", "1.01"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "below required" in out
+
     def test_deep_chain_for_greedy_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--algorithms", "greedy", "--chain", "po"])

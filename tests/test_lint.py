@@ -366,6 +366,17 @@ class TestFrozenMutationRule:
         findings = lint_source(suppressed, module="fixture")
         assert len(findings) == 4
 
+    def test_kernel_mutation_flagged(self):
+        source = (
+            "def corrupt(kernel, g):\n"
+            "    kernel._slots[0] = {}\n"
+            "    kernel._edges.pop(3)\n"
+            "    object.__setattr__(kernel, '_digest', 'forged')\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert rules_of(findings) == ["frozen-mutation"]
+        assert len(findings) == 3
+
 
 # ---------------------------------------------------------------------------
 # suppression machinery

@@ -29,6 +29,34 @@ class TestRoundTrip:
         for e in g.edges():
             assert back.edge(e.eid).color == e.color
 
+    def test_parallel_edges_keep_ids_and_colors(self):
+        """Regression: parallel edges must not collapse through networkx.
+
+        A MultiGraph keyed by ``eid`` keeps both copies distinct; each must
+        come back with its own id and colour, and the content digest (which
+        is endpoint-order normalised) must survive the round trip.
+        """
+        from repro.graphs.multigraph import ECGraph
+
+        g = ECGraph()
+        e0 = g.add_edge("a", "b", 1)
+        e1 = g.add_edge("a", "b", 2)
+        e2 = g.add_edge("b", "b", 3)  # loop next to the parallel pair
+        back = from_networkx(to_networkx(g))
+        assert back.num_edges() == 3
+        assert back.edge(e0).color == 1
+        assert back.edge(e1).color == 2
+        assert back.edge(e2).is_loop and back.edge(e2).color == 3
+        assert back.digest == g.digest
+
+    def test_loop_ids_and_colors_preserved(self):
+        g = single_node_with_loops(4)
+        back = from_networkx(to_networkx(g))
+        for e in g.edges():
+            assert back.edge(e.eid).is_loop
+            assert back.edge(e.eid).color == e.color
+        assert back.digest == g.digest
+
 
 class TestFromPlainNetworkx:
     def test_uncolored_graph_gets_colored(self):

@@ -88,3 +88,29 @@ class TestECDoubling:
     def test_po_properness_holds(self):
         d = po_double_from_ec(cycle_graph(7))
         d.validate()
+
+    def test_parallel_edges_keep_arc_provenance(self):
+        """Regression: parallel EC edges double into distinct arc pairs.
+
+        Arc ids ``2 * eid`` / ``2 * eid + 1`` must keep each parallel edge's
+        identity and colour; loops map to the single arc ``2 * eid``.
+        """
+        from repro.graphs.multigraph import ECGraph
+
+        g = ECGraph()
+        e0 = g.add_edge("a", "b", 1)
+        e1 = g.add_edge("a", "b", 2)
+        loop = g.add_edge("a", "a", 3)
+        d = po_double_from_ec(g)
+        assert d.num_edges() == 5  # 2 arcs per parallel edge + 1 loop arc
+        for eid, color in ((e0, 1), (e1, 2)):
+            assert d.edge(2 * eid).color == color
+            assert d.edge(2 * eid + 1).color == color
+            assert d.edge(2 * eid).tail == "a" and d.edge(2 * eid).head == "b"
+            assert d.edge(2 * eid + 1).tail == "b" and d.edge(2 * eid + 1).head == "a"
+        assert d.edge(2 * loop).is_loop and d.edge(2 * loop).color == 3
+        d.validate()
+
+    def test_doubling_same_graph_twice_gives_same_digest(self):
+        g = cycle_graph(6)
+        assert po_double_from_ec(g).digest == po_double_from_ec(g.fork()).digest
