@@ -93,19 +93,35 @@ def engine_sweep():
     row sets serialise byte-identically — benches recorded from a parallel
     run are guaranteed to be the rows a serial run would have produced.
     Unset (or < 2), the sweep just runs in-process.
+
+    ``REPRO_BENCH_FAULT_SEED=K`` additionally replays the sweep under a
+    fault plan sampled from seed ``K`` (``FaultPlan.sample``; worker kills,
+    shard truncation, cache damage — see docs/fault_injection.md) and
+    asserts the recovered rows still serialise byte-identically, so bench
+    runs can double as chaos runs.
     """
-    from repro.engine import run_sweep
+    from repro.engine import expand, run_sweep
 
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    fault_seed = os.environ.get("REPRO_BENCH_FAULT_SEED")
 
     def _sweep(grid, **kwargs):
         result = run_sweep(grid, workers=workers, **kwargs)
+        reference = json.dumps(result.rows, sort_keys=True).encode()
         if workers >= 2:
             serial = run_sweep(grid, workers=0, **kwargs)
-            parallel_bytes = json.dumps(result.rows, sort_keys=True).encode()
             serial_bytes = json.dumps(serial.rows, sort_keys=True).encode()
-            assert parallel_bytes == serial_bytes, (
+            assert reference == serial_bytes, (
                 "parallel sweep rows diverge from the serial run"
+            )
+        if fault_seed is not None:
+            from repro.engine import FaultPlan
+
+            plan = FaultPlan.sample([c.key for c in expand(grid)], seed=int(fault_seed))
+            faulted = run_sweep(grid, workers=workers, faults=plan, **kwargs)
+            faulted_bytes = json.dumps(faulted.rows, sort_keys=True).encode()
+            assert reference == faulted_bytes, (
+                f"rows diverge under injected faults (seed {fault_seed})"
             )
         return result
 

@@ -137,6 +137,10 @@ def sweep(
     use_cache: bool = True,
     resume: bool = False,
     tracer=None,
+    faults=None,
+    cell_timeout: Optional[float] = None,
+    retries: int = 1,
+    max_restarts: int = 2,
 ):
     """Run a grid of experiment cells through the parallel engine.
 
@@ -144,6 +148,12 @@ def sweep(
     :meth:`GridSpec.from_mapping`, or ``None`` for the paper's E1 grid.
     Returns a :class:`repro.engine.SweepResult`; see :mod:`repro.engine`
     for sharding, caching and resume semantics.
+
+    ``faults`` replays a deterministic failure scenario (a
+    :class:`repro.engine.FaultPlan`, its dict form, or a path to its JSON
+    file); ``cell_timeout``/``retries``/``max_restarts`` bound the per-cell
+    watchdog, the retry loop, and dead-worker recovery — see
+    ``docs/fault_injection.md``.
     """
     from .engine import GridSpec, run_sweep
 
@@ -157,4 +167,8 @@ def sweep(
         use_cache=use_cache,
         resume=resume,
         tracer=tracer,
+        faults=faults,
+        cell_timeout=cell_timeout,
+        retries=retries,
+        max_restarts=max_restarts,
     )

@@ -18,9 +18,12 @@ Subcommands (``python -m repro <subcommand> --help`` for details):
                   hottest-spans profile);
 * ``sweep``     — run a declarative (algorithm × Delta × chain × seed) grid
                   through the parallel experiment engine (``repro.engine``),
-                  with canonical-form caching and resumable result shards;
+                  with canonical-form caching, resumable result shards, and
+                  an optional deterministic fault plan (``--faults``);
 * ``verify``    — test a claimed round count through the ``repro.api``
-                  facade, optionally stacking a Section 5 chain.
+                  facade, optionally stacking a Section 5 chain; or, with
+                  ``--store DIR``, replay a finished sweep store's rows
+                  against fresh serial computation.
 
 Subcommands share one flag vocabulary — ``--json`` (bare prints JSON to
 stdout, with a PATH writes the file), ``--delta``, ``--chain``, ``--out`` —
@@ -275,12 +278,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="RATE",
         help="fail (exit 1) when the canonical-form cache hit rate falls "
-        "below RATE (0..1) — a CI guard for the digest-keyed cache",
+        "below RATE (0..1) — a CI guard for the digest-keyed cache; "
+        "reported as n/a (and never failed) when the cache saw no lookups",
+    )
+    sweep.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="replay a deterministic fault plan during the sweep "
+        "(see docs/fault_injection.md for the schema)",
+    )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell watchdog: a cell running longer is abandoned and "
+        "retried (default: no timeout)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts per cell after a timeout or error (default 1)",
+    )
+    sweep.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="rounds of dead-worker recovery before giving up (default 2)",
     )
 
     ver = sub.add_parser(
         "verify",
-        help="verify a claimed round count through the repro.api facade",
+        help="verify a claimed round count through the repro.api facade, "
+        "or replay a finished sweep store against fresh computation",
     )
     ver.add_argument(
         "--algorithm",
@@ -288,7 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered algorithm to test (default: greedy on the 'ec' "
         "chain; deeper chains always run the proposal dynamics)",
     )
-    ver.add_argument("--claimed-rounds", type=int, required=True)
+    ver.add_argument(
+        "--claimed-rounds",
+        type=int,
+        default=None,
+        help="claimed round count to refute (required unless --store)",
+    )
+    ver.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="replay a finished sweep store: recompute every persisted row "
+        "serially and fail unless they match byte-for-byte",
+    )
     add_common_options(ver, json_flag=True, delta=5, chain="ec")
 
     return parser
@@ -511,6 +557,8 @@ def _cmd_sweep(args) -> int:
             chains=(args.chain,),
             seeds=_parse_ints(args.seeds, "--seeds") if args.seeds else base.seeds,
         )
+    from .engine import CellExecutionError
+
     try:
         result = run_sweep(
             grid,
@@ -519,9 +567,18 @@ def _cmd_sweep(args) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             resume=args.resume,
+            faults=args.faults,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            max_restarts=args.max_restarts,
         )
     except ValueError as error:
         raise SystemExit(f"repro sweep: {error}") from None
+    except CellExecutionError as error:
+        # the failing cell is named here and recorded in summary.json's
+        # "failed" list when --out was given
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 1
     print(result.summary())
     if args.out:
         print(f"results under {args.out} (summary.json, trace.json, shard-*.jsonl)")
@@ -531,24 +588,62 @@ def _cmd_sweep(args) -> int:
             "workers": result.workers,
             "resumed": result.resumed,
             "cache": result.cache.as_dict(),
+            "recovery": result.recovery,
             "rows": result.rows,
         }
         _emit_json(args, json_.dumps(payload, sort_keys=True))
     refuted = sum(1 for row in result.rows if row["status"] == "refuted")
     if args.min_hit_rate is not None:
-        rate = result.cache.hit_rate
-        if rate < args.min_hit_rate:
+        if result.cache.lookups == 0:
+            # no lookups (e.g. --no-cache, or a grid whose cells never
+            # canonicalise): a rate floor is meaningless, not a failure
             print(
-                f"canonical-cache hit rate {rate:.3f} below required "
+                f"canonical-cache hit rate n/a (0 lookups; "
+                f"--min-hit-rate {args.min_hit_rate:.3f} not applied)"
+            )
+        elif result.cache.hit_rate < args.min_hit_rate:
+            print(
+                f"canonical-cache hit rate {result.cache.hit_rate:.3f} below required "
                 f"{args.min_hit_rate:.3f} "
                 f"({result.cache.hits}/{result.cache.lookups} lookups)"
             )
             return 1
-        print(
-            f"canonical-cache hit rate {rate:.3f} "
-            f"(>= {args.min_hit_rate:.3f} required)"
-        )
+        else:
+            print(
+                f"canonical-cache hit rate {result.cache.hit_rate:.3f} "
+                f"(>= {args.min_hit_rate:.3f} required)"
+            )
     return 0 if refuted == 0 else 1
+
+
+def _cmd_verify_store(args) -> int:
+    """Replay a finished sweep store against fresh serial computation."""
+    import json as json_
+
+    from .engine import verify_store
+
+    directory = Path(args.store)
+    if not directory.is_dir():
+        raise SystemExit(f"repro verify: no such store directory: {args.store}")
+    report = verify_store(directory)
+    ok = not report["mismatched"] and report["summary_consistent"]
+    print(
+        f"store {args.store}: {report['matched']}/{report['cells']} rows match "
+        f"fresh serial computation; summary "
+        f"{'consistent' if report['summary_consistent'] else 'INCONSISTENT'}"
+    )
+    for miss in report["mismatched"]:
+        print(f"  MISMATCH {miss['key']}: stored row differs from recomputation")
+    scan = report.get("scan", {})
+    if any(scan.values()):
+        print(
+            f"  shard damage absorbed: {scan.get('torn_final', 0)} torn final line(s), "
+            f"{scan.get('corrupt_lines', 0)} corrupt line(s), "
+            f"{scan.get('duplicates', 0)} duplicate row(s)"
+        )
+    if args.json is not None:
+        _emit_json(args, json_.dumps(report, sort_keys=True, default=str))
+    return 0 if ok else 1
 
 
 def _cmd_verify(args) -> int:
@@ -556,6 +651,12 @@ def _cmd_verify(args) -> int:
 
     from .api import refute as api_refute
 
+    if args.store is not None:
+        if args.claimed_rounds is not None:
+            raise SystemExit("repro verify: --store and --claimed-rounds are mutually exclusive")
+        return _cmd_verify_store(args)
+    if args.claimed_rounds is None:
+        raise SystemExit("repro verify: one of --claimed-rounds or --store is required")
     if args.chain == "ec":
         result = api_refute(
             _make_algorithm(args.algorithm or "greedy"),

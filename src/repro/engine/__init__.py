@@ -13,15 +13,22 @@ process-parallel sweep:
   ``summary.json``;
 * :mod:`repro.engine.pool` — the ``multiprocessing`` pool that shards cells
   across workers, each under its own :mod:`repro.obs` tracer, and merges
-  worker traces into one document.
+  worker traces into one document; survives dead workers, hung cells and
+  transient failures via bounded retries, per-cell watchdogs and shard
+  reassignment (see ``docs/fault_injection.md``);
+* :mod:`repro.engine.faults` — a deterministic fault-injection layer (seeded
+  :class:`~repro.engine.faults.FaultPlan`) that replays worker kills, shard
+  truncation, cache corruption, stalls and transient I/O errors so every
+  recovery path is mechanically exercised.
 
 Entry points: :func:`run_sweep` (or ``python -m repro sweep`` /
 :func:`repro.api.sweep`).  See ``docs/engine.md``.
 """
 
 from .cache import CacheStats, CanonicalFormCache, graph_digest
+from .faults import Fault, FaultInjector, FaultPlan, InjectedWorkerError, use_faults
 from .grid import ALGORITHMS, CHAINS, Cell, GridSpec, e1_grid, expand, run_cell, smoke_grid
-from .pool import SweepResult, run_sweep
+from .pool import CellExecutionError, CellTimeout, SweepResult, run_sweep, verify_store
 from .store import ResultStore
 
 __all__ = [
@@ -30,7 +37,13 @@ __all__ = [
     "CacheStats",
     "CanonicalFormCache",
     "Cell",
+    "CellExecutionError",
+    "CellTimeout",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "GridSpec",
+    "InjectedWorkerError",
     "ResultStore",
     "SweepResult",
     "e1_grid",
@@ -39,4 +52,6 @@ __all__ = [
     "run_cell",
     "run_sweep",
     "smoke_grid",
+    "use_faults",
+    "verify_store",
 ]

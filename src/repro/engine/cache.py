@@ -33,6 +33,7 @@ label), so a merged sweep trace reports the realised hit-rate.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from collections import OrderedDict
@@ -44,6 +45,7 @@ from ..graphs.kernel import GraphKernel
 from ..graphs.multigraph import ECGraph
 from ..graphs.serialize import decode_label, encode_label
 from ..obs.tracer import current_tracer
+from .faults import active_injector
 
 Node = Hashable
 
@@ -59,6 +61,10 @@ __all__ = [
 
 CACHE_FORMAT = "repro-canonical-cache-v1"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: process-local id sequence making concurrent temp-file names unique even
+#: when a watchdog-abandoned thread and its retry write the same key
+_TMP_IDS = itertools.count()
 
 
 def graph_digest(g: ECGraph, root: Optional[Node] = None) -> str:
@@ -109,6 +115,7 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     disk_corrupt: int = 0
+    disk_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -125,6 +132,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "disk_corrupt": self.disk_corrupt,
+            "disk_errors": self.disk_errors,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
         }
@@ -139,6 +147,7 @@ class CacheStats:
             total.evictions += d.get("evictions", 0)
             total.disk_hits += d.get("disk_hits", 0)
             total.disk_corrupt += d.get("disk_corrupt", 0)
+            total.disk_errors += d.get("disk_errors", 0)
         return total
 
 
@@ -234,24 +243,43 @@ class CanonicalFormCache:
             return None
         path = self._disk_path(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            injector = active_injector()
+            if injector is not None:
+                injector.check_cache_io("read", key)
+            # read bytes + lossy decode: a corrupt entry need not be UTF-8
+            payload = json.loads(path.read_bytes().decode("utf-8", errors="replace"))
+            if not isinstance(payload, dict):
+                raise ValueError("malformed cache entry")
             if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
                 raise ValueError("foreign or stale cache entry")
             return decode_form(payload["form"])
         except FileNotFoundError:
             return None
-        except (ValueError, KeyError, TypeError, OSError):
+        except OSError:
+            # transient I/O failure: a miss, never an abort; the recompute
+            # path rewrites the entry on its next healthy write
+            self.stats.disk_errors += 1
+            current_tracer().metrics.counter("engine.cache_fault", outcome="io_error").inc()
+            return None
+        except (ValueError, KeyError, TypeError):
             # corrupt entry: fall back to recomputation (the fresh _put
-            # below overwrites the bad file)
+            # below atomically overwrites the bad file)
             self.stats.disk_corrupt += 1
+            current_tracer().metrics.counter("engine.cache_fault", outcome="corrupt").inc()
             return None
 
     def _disk_put(self, key: str, form: Any) -> None:
         if not self.directory:
             return
         path = self._disk_path(key)
-        tmp = path.with_suffix(".tmp")
+        # a per-writer temp name: two processes (or a watchdog-abandoned
+        # thread) rewriting the same entry must never share a temp file, or
+        # their writes interleave before the replace
+        tmp = path.with_name(f".{key}.{os.getpid()}.{next(_TMP_IDS)}.tmp")
         try:
+            injector = active_injector()
+            if injector is not None:
+                injector.check_cache_io("write", key)
             tmp.write_text(
                 json.dumps(
                     {"format": CACHE_FORMAT, "key": key, "form": encode_form(form)},
@@ -260,7 +288,11 @@ class CanonicalFormCache:
                 encoding="utf-8",
             )
             os.replace(tmp, path)  # atomic: concurrent workers never see partial writes
+            if injector is not None:
+                injector.on_cache_write(key, path)
         except OSError:  # a full or read-only disk never fails the computation
+            self.stats.disk_errors += 1
+            current_tracer().metrics.counter("engine.cache_fault", outcome="io_error").inc()
             tmp.unlink(missing_ok=True)
 
     def __len__(self) -> int:

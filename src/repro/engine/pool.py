@@ -1,8 +1,8 @@
-"""Process-parallel sweep execution with per-worker tracers and caching.
+"""Process-parallel sweep execution with caching, retries, and recovery.
 
 :func:`run_sweep` shards a grid's pending cells round-robin across a
-``multiprocessing`` pool (spawn context: workers import the package fresh,
-no inherited interpreter state).  Each worker shard runs under
+process pool (spawn context: workers import the package fresh, no inherited
+interpreter state).  Each worker shard runs under
 
 * its own :class:`repro.obs.Tracer` — one ``engine.shard`` span wrapping an
   ``engine.cell`` span per grid point, merged afterwards into a single
@@ -15,24 +15,109 @@ no inherited interpreter state).  Each worker shard runs under
   row, which is what makes a killed sweep resumable.
 
 Rows carry no wall-clock data and are merged in cell-key order, so a sweep
-result is byte-for-byte identical however many workers produced it.
+result is byte-for-byte identical however many workers produced it — and,
+by the same construction, however many faults it survived on the way.
+
+Fault tolerance
+---------------
+The engine assumes workers can die, cells can hang, and disks can lie:
+
+* every cell runs under an optional watchdog (``cell_timeout`` seconds) and
+  a bounded, deterministically backed-off retry loop (``retries``); a cell
+  whose error survives every retry surfaces as a :class:`CellExecutionError`
+  that **names the failing cell** instead of a bare pool teardown;
+* a shard whose worker dies (SIGKILL, crash) or raises is detected by the
+  coordinator, which reads back whatever rows the dead worker had already
+  flushed and **reassigns only the missing cells** to a fresh round of
+  workers (``max_restarts`` rounds, ``engine.recovery`` spans);
+* cache and store damage degrades gracefully (see their modules) and is
+  exercised end to end by :mod:`repro.engine.faults` — pass ``faults=``
+  (a :class:`~repro.engine.faults.FaultPlan`) to replay a failure scenario
+  deterministically.
+
+``time.sleep`` here implements only the retry backoff and never feeds any
+model output; the module is a sanctioned clock user
+(``LintConfig.clock_modules``) for exactly that line.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import threading
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..graphs.isomorphism import use_canonical_cache
 from ..obs.export import merge_trace_documents, trace_document
 from ..obs.tracer import Tracer, current_tracer, use_tracer
 from .cache import CacheStats, CanonicalFormCache
+from .faults import FaultInjector, FaultPlan, InjectedWorkerError, as_plan, use_faults
 from .grid import Cell, GridSpec, expand, run_cell
 from .store import ResultStore
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = [
+    "CellExecutionError",
+    "CellTimeout",
+    "SweepResult",
+    "run_sweep",
+    "verify_store",
+]
+
+#: deterministic retry backoff: attempt k sleeps k * _BACKOFF_BASE seconds
+_BACKOFF_BASE = 0.02
+
+
+class CellExecutionError(RuntimeError):
+    """A cell failed after every retry; names the failing grid point."""
+
+    def __init__(self, key: str, algorithm: str = "?", delta: int = -1,
+                 chain: str = "?", seed: int = -1, cause: str = ""):
+        self.key = key
+        self.algorithm = algorithm
+        self.delta = delta
+        self.chain = chain
+        self.seed = seed
+        self.cause = cause
+        super().__init__(
+            f"cell {key} (algorithm={algorithm}, delta={delta}, chain={chain}, "
+            f"seed={seed}) failed: {cause}"
+        )
+
+    def __reduce__(self):  # exceptions cross the process boundary pickled
+        return (type(self), (self.key, self.algorithm, self.delta, self.chain, self.seed, self.cause))
+
+    @classmethod
+    def for_cell(cls, cell: Cell, cause: BaseException) -> "CellExecutionError":
+        return cls(
+            cell.key, cell.algorithm, cell.delta, cell.chain, cell.seed,
+            f"{type(cause).__name__}: {cause}",
+        )
+
+    def as_record(self) -> dict:
+        """The JSON-ready account recorded in ``summary.json``'s ``failed``."""
+        return {
+            "key": self.key,
+            "algorithm": self.algorithm,
+            "delta": self.delta,
+            "chain": self.chain,
+            "seed": self.seed,
+            "error": self.cause,
+        }
+
+
+class CellTimeout(RuntimeError):
+    """The per-cell watchdog fired before the cell finished."""
+
+    def __init__(self, key: str, timeout: float):
+        self.key = key
+        self.timeout = timeout
+        super().__init__(f"cell {key} exceeded its {timeout:g}s watchdog")
+
+    def __reduce__(self):
+        return (type(self), (self.key, self.timeout))
 
 
 @dataclass
@@ -46,6 +131,8 @@ class SweepResult:
     trace: Optional[dict] = None
     resumed: int = 0
     out_dir: Optional[str] = None
+    #: restart/reassignment account: zeros on a fault-free run
+    recovery: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -54,11 +141,19 @@ class SweepResult:
     def summary(self) -> str:
         """One-line human account of the sweep."""
         fresh = len(self.rows) - self.resumed
-        return (
+        line = (
             f"{len(self.rows)} cells ({fresh} computed, {self.resumed} resumed) "
             f"on {self.workers} worker(s); canonical-form cache hit-rate "
             f"{self.cache.hit_rate:.0%} ({self.cache.hits}/{self.cache.lookups})"
         )
+        restarts = self.recovery.get("restarts", 0)
+        if restarts:
+            line += (
+                f"; recovered in {restarts} restart(s) "
+                f"({self.recovery.get('reassigned', 0)} cells reassigned, "
+                f"{self.recovery.get('worker_losses', 0)} worker(s) lost)"
+            )
+        return line
 
 
 def _shard_cells(cells: List[Cell], shards: int) -> List[List[Cell]]:
@@ -69,24 +164,113 @@ def _shard_cells(cells: List[Cell], shards: int) -> List[List[Cell]]:
     return [bucket for bucket in buckets if bucket]
 
 
-def _run_shard(payload: Tuple) -> Tuple[int, List[dict], dict, dict]:
+def _execute_cell(
+    cell: Cell,
+    tracer: Tracer,
+    injector: Optional[FaultInjector],
+    cell_timeout: Optional[float],
+    retries: int,
+) -> dict:
+    """One cell under the watchdog and the bounded retry loop.
+
+    Raises :class:`CellExecutionError` when the last attempt still fails;
+    :class:`InjectedWorkerError` passes straight through — a simulated
+    worker crash is the *coordinator's* problem, not a per-cell retry.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(retries + 1):
+        if attempt:
+            tracer.metrics.counter("engine.cell_retry").inc()
+            time.sleep(_BACKOFF_BASE * attempt)  # deterministic backoff schedule
+        try:
+            return _run_cell_watchdogged(cell, tracer, injector, attempt, cell_timeout)
+        except InjectedWorkerError:
+            raise
+        except CellTimeout as exc:
+            tracer.metrics.counter("engine.cell_timeout").inc()
+            last = exc
+        except Exception as exc:  # noqa: BLE001 - every failure is named below
+            last = exc
+    raise CellExecutionError.for_cell(cell, last if last is not None else RuntimeError("unknown"))
+
+
+def _run_cell_watchdogged(
+    cell: Cell,
+    tracer: Tracer,
+    injector: Optional[FaultInjector],
+    attempt: int,
+    cell_timeout: Optional[float],
+) -> dict:
+    """Run one cell, bounded by ``cell_timeout`` seconds when set.
+
+    The timed path computes on a worker thread against a private tracer;
+    on success the finished spans are grafted back under the shard span, on
+    timeout the abandoned attempt's spans are discarded with it.  Without a
+    timeout the cell runs inline — the exact pre-fault-hardening hot path.
+    """
+
+    def body(body_tracer: Tracer) -> dict:
+        if injector is not None:
+            injector.on_cell_body(cell.key, attempt)
+        return run_cell(cell, tracer=body_tracer)
+
+    if cell_timeout is None:
+        return body(tracer)
+
+    sub = Tracer()
+    outcome: List[dict] = []
+    failure: List[BaseException] = []
+
+    def target() -> None:
+        try:
+            outcome.append(body(sub))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
+            failure.append(exc)
+
+    watchdogged = threading.Thread(target=target, daemon=True, name=f"cell-{cell.key}")
+    watchdogged.start()
+    watchdogged.join(cell_timeout)
+    if watchdogged.is_alive():
+        raise CellTimeout(cell.key, cell_timeout)
+    tracer.graft(sub.roots)
+    if failure:
+        raise failure[0]
+    return outcome[0]
+
+
+def _run_shard(payload: dict) -> Tuple[int, List[dict], dict, dict]:
     """Execute one shard of cells; the unit of work a pool worker receives.
 
     Returns ``(shard_index, rows, trace_document, cache_stats)``.  Must stay
     a module-level function: the spawn context pickles it by reference.
     """
-    shard_index, cell_dicts, out_dir, cache_dir, use_cache = payload
-    cells = [Cell.from_dict(d) for d in cell_dicts]
-    store = ResultStore(out_dir) if out_dir else None
+    shard_index = payload["shard"]
+    cells = [Cell.from_dict(d) for d in payload["cells"]]
+    store = ResultStore(payload["out_dir"]) if payload["out_dir"] else None
+    plan = FaultPlan.from_dict(payload["plan"]) if payload.get("plan") else None
+    injector = (
+        FaultInjector(plan, shard=shard_index, in_worker=payload.get("in_worker", False))
+        if plan is not None
+        else None
+    )
     tracer = Tracer()
-    cache = CanonicalFormCache(directory=cache_dir)
+    cache = CanonicalFormCache(directory=payload["cache_dir"])
     rows: List[dict] = []
-    with use_tracer(tracer):
-        guard = use_canonical_cache(cache) if use_cache else _NO_CACHE
+    with use_tracer(tracer), use_faults(injector):
+        guard = use_canonical_cache(cache) if payload["use_cache"] else nullcontext()
         with guard:
-            with tracer.span("engine.shard", shard=shard_index, cells=len(cells)) as span:
+            with tracer.span(
+                "engine.shard",
+                shard=shard_index,
+                cells=len(cells),
+                round=payload.get("round", 0),
+            ) as span:
                 for cell in cells:
-                    row = run_cell(cell, tracer=tracer)
+                    if injector is not None:
+                        injector.on_worker_cell(cell.key, payload.get("round", 0))
+                    row = _execute_cell(
+                        cell, tracer, injector, payload.get("cell_timeout"), payload.get("retries", 1)
+                    )
                     rows.append(row)
                     if store is not None:
                         store.append(shard_index, row)
@@ -98,17 +282,32 @@ def _run_shard(payload: Tuple) -> Tuple[int, List[dict], dict, dict]:
     return shard_index, rows, doc, cache.stats.as_dict()
 
 
-class _NullGuard:
-    """Context manager used when the cache is disabled."""
-
-    def __enter__(self):
-        return None
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        return False
-
-
-_NO_CACHE = _NullGuard()
+def _shard_payloads(
+    shards: List[List[Cell]],
+    store: Optional[ResultStore],
+    cache_dir,
+    use_cache: bool,
+    plan: Optional[FaultPlan],
+    round_: int,
+    cell_timeout: Optional[float],
+    retries: int,
+    in_worker: bool,
+) -> List[dict]:
+    return [
+        {
+            "shard": index,
+            "cells": [cell.as_dict() for cell in bucket],
+            "out_dir": str(store.directory) if store else None,
+            "cache_dir": str(cache_dir) if cache_dir else None,
+            "use_cache": use_cache,
+            "plan": plan.as_dict() if plan is not None else None,
+            "round": round_,
+            "cell_timeout": cell_timeout,
+            "retries": retries,
+            "in_worker": in_worker,
+        }
+        for index, bucket in enumerate(shards)
+    ]
 
 
 def run_sweep(
@@ -120,6 +319,10 @@ def run_sweep(
     use_cache: bool = True,
     resume: bool = False,
     tracer=None,
+    faults=None,
+    cell_timeout: Optional[float] = None,
+    retries: int = 1,
+    max_restarts: int = 2,
 ) -> SweepResult:
     """Run every cell of ``grid``, sharded over ``workers`` processes.
 
@@ -134,7 +337,9 @@ def run_sweep(
         ``n >= 2`` spawns ``n`` pool workers.
     out_dir:
         Results directory (JSONL shards, ``summary.json``, ``trace.json``).
-        ``None`` keeps everything in memory — such a sweep cannot resume.
+        ``None`` keeps everything in memory — such a sweep cannot resume,
+        and a lost worker's finished cells must be recomputed instead of
+        read back.
     cache_dir:
         On-disk canonical-form store shared by all workers; defaults to
         ``$REPRO_CACHE_DIR`` when set (workers always get an in-memory LRU).
@@ -142,10 +347,21 @@ def run_sweep(
         ``False`` disables canonical-form memoization entirely.
     resume:
         Skip cells whose rows already sit in ``out_dir``'s shards; their
-        persisted rows are merged into the result untouched.
+        persisted rows are merged into the result untouched (rows for cells
+        outside this grid are ignored).
     tracer:
         Parent tracer for the coordinating ``engine.sweep`` span; defaults
         to the ambient tracer.
+    faults:
+        A :class:`~repro.engine.faults.FaultPlan` (or its dict form, or a
+        path to its JSON file) replayed deterministically during the sweep.
+    cell_timeout:
+        Per-cell watchdog in seconds; ``None`` (default) disables it.
+    retries:
+        Extra attempts per cell after a timeout or error (default 1).
+    max_restarts:
+        Rounds of dead-worker recovery: each round reassigns only the
+        cells the lost shards had not yet persisted (default 2).
     """
     if grid is None:
         spec = GridSpec()
@@ -154,15 +370,24 @@ def run_sweep(
     else:
         spec = GridSpec.from_mapping(grid)
     tracer = tracer if tracer is not None else current_tracer()
+    plan = as_plan(faults)
     cells = expand(spec)
+    cell_keys = {cell.key for cell in cells}
     store = ResultStore(out_dir) if out_dir else None
 
-    done: dict = {}
+    done: Dict[str, dict] = {}
     if resume:
         if store is None:
             raise ValueError("resume=True needs an out_dir to read shards from")
-        done = store.completed()
+        done = {key: row for key, row in store.completed().items() if key in cell_keys}
     pending = [cell for cell in cells if cell.key not in done]
+
+    parallel = workers >= 2
+    collected: Dict[str, dict] = {}
+    shard_docs: List[dict] = []
+    stats_dicts: List[dict] = []
+    recovery = {"restarts": 0, "reassigned": 0, "worker_losses": 0}
+    failures: List[Tuple[dict, BaseException]] = []
 
     with tracer.span(
         "engine.sweep",
@@ -171,48 +396,64 @@ def run_sweep(
         resumed=len(done),
         workers=workers,
     ) as sweep_span:
-        shards = _shard_cells(pending, workers if workers >= 2 else 1)
-        payloads = [
-            (
-                index,
-                [cell.as_dict() for cell in bucket],
-                str(store.directory) if store else None,
-                str(cache_dir) if cache_dir else None,
-                use_cache,
+        remaining = list(pending)
+        round_ = 0
+        while remaining:
+            span_ctx = (
+                tracer.span("engine.recovery", round=round_, cells=len(remaining))
+                if round_ > 0
+                else nullcontext()
             )
-            for index, bucket in enumerate(shards)
-        ]
-        if workers >= 2 and payloads:
-            # spawn, not fork: workers must re-import the package so no
-            # half-initialised interpreter state (or installed caches/
-            # tracers) leaks across the process boundary
-            context = multiprocessing.get_context("spawn")
-            with context.Pool(processes=min(workers, len(payloads))) as pool:
-                outcomes = pool.map(_run_shard, payloads)
-        else:
-            outcomes = [_run_shard(payload) for payload in payloads]
+            # the last restart round runs in-process: recovery must not be
+            # starved by an environment that keeps killing fresh workers
+            parallel_round = parallel and round_ < max_restarts
+            with span_ctx:
+                shards = _shard_cells(remaining, workers if parallel_round else 1)
+                payloads = _shard_payloads(
+                    shards, store, cache_dir, use_cache, plan, round_,
+                    cell_timeout, retries, in_worker=parallel_round,
+                )
+                outcomes, failures = _run_round(payloads, workers if parallel_round else 0)
+                for _, rows, doc, stats in sorted(outcomes, key=lambda item: item[0]):
+                    for row in rows:
+                        collected.setdefault(row["key"], row)
+                    shard_docs.append(doc)
+                    stats_dicts.append(stats)
+            if not failures:
+                break
+            # dead-worker recovery: read back what the lost shards already
+            # flushed, then reassign only the cells still missing
+            persisted = store.completed() if store is not None else {}
+            for key, row in persisted.items():
+                if key in cell_keys and key not in done:
+                    collected.setdefault(key, row)
+            remaining = [cell for cell in remaining if cell.key not in collected and cell.key not in done]
+            recovery["worker_losses"] += sum(1 for _, exc in failures if _is_worker_loss(exc))
+            if not remaining:
+                # the dead shard had already flushed every cell it owed
+                break
+            if round_ >= max_restarts:
+                _abort_sweep(store, spec, done, collected, stats_dicts, workers, recovery, failures)
+            recovery["restarts"] += 1
+            recovery["reassigned"] += len(remaining)
+            tracer.metrics.counter("engine.sweep_restart").inc()
+            round_ += 1
 
-        fresh_rows: List[dict] = []
-        shard_docs: List[dict] = []
-        stats_dicts: List[dict] = []
-        for _, rows, doc, stats in sorted(outcomes, key=lambda item: item[0]):
-            fresh_rows.extend(rows)
-            shard_docs.append(doc)
-            stats_dicts.append(stats)
         cache_stats = CacheStats.merged(stats_dicts)
         sweep_span.set(
             cache_hits=cache_stats.hits,
             cache_misses=cache_stats.misses,
             cache_hit_rate=round(cache_stats.hit_rate, 4),
+            restarts=recovery["restarts"],
         )
 
     all_rows = sorted(
-        list(done.values()) + fresh_rows, key=lambda row: row.get("key", "")
+        _dedup_rows(done, collected), key=lambda row: row.get("key", "")
     )
     merged = merge_trace_documents(
         shard_docs,
         command=f"sweep ({len(cells)} cells, {workers} workers)",
-        extra={"cache": cache_stats.as_dict()},
+        extra={"cache": cache_stats.as_dict(), "recovery": recovery},
     )
     result = SweepResult(
         grid=spec.as_dict(),
@@ -222,12 +463,147 @@ def run_sweep(
         trace=merged,
         resumed=len(done),
         out_dir=str(store.directory) if store else None,
+        recovery=recovery,
     )
     if store is not None:
         store.write_summary(
-            spec.as_dict(), all_rows, cache_stats=cache_stats.as_dict(), workers=workers
+            spec.as_dict(),
+            all_rows,
+            cache_stats=cache_stats.as_dict(),
+            workers=workers,
+            recovery=recovery,
         )
         store.trace_path.write_text(
             json.dumps(merged, indent=2, default=str) + "\n", encoding="utf-8"
         )
     return result
+
+
+def _is_worker_loss(exc: BaseException) -> bool:
+    """Whether a shard failure means the worker process itself died."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(exc, (BrokenProcessPool, InjectedWorkerError))
+
+
+def _run_round(
+    payloads: List[dict], workers: int
+) -> Tuple[List[Tuple[int, List[dict], dict, dict]], List[Tuple[dict, BaseException]]]:
+    """Execute one round of shard payloads; never raises on shard failure.
+
+    Returns ``(outcomes, failures)`` where each failure pairs the payload
+    whose shard did not finish with the exception that stopped it — a
+    SIGKILLed worker surfaces as ``BrokenProcessPool`` on every future the
+    broken pool still owed.
+    """
+    outcomes: List[Tuple[int, List[dict], dict, dict]] = []
+    failures: List[Tuple[dict, BaseException]] = []
+    if workers >= 2 and payloads:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # spawn, not fork: workers must re-import the package so no
+        # half-initialised interpreter state (or installed caches/tracers)
+        # leaks across the process boundary
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(payloads)), mp_context=context
+        ) as pool:
+            futures = [(pool.submit(_run_shard, payload), payload) for payload in payloads]
+            for future, payload in futures:
+                try:
+                    outcomes.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - triaged by the caller
+                    failures.append((payload, exc))
+    else:
+        for payload in payloads:
+            try:
+                outcomes.append(_run_shard(payload))
+            except (InjectedWorkerError, CellExecutionError, CellTimeout) as exc:
+                failures.append((payload, exc))
+    return outcomes, failures
+
+
+def _dedup_rows(done: Dict[str, dict], collected: Dict[str, dict]) -> List[dict]:
+    """Merge resumed and fresh rows, first occurrence per cell key winning.
+
+    A shard killed after flushing a row but before the resume bookkeeping
+    saw it can present the same cell twice (persisted + recomputed); the
+    rows are identical by determinism, so keeping the first is sound.
+    """
+    merged: Dict[str, dict] = dict(done)
+    for key, row in collected.items():
+        merged.setdefault(key, row)
+    return list(merged.values())
+
+
+def _abort_sweep(store, spec, done, collected, stats_dicts, workers, recovery, failures) -> None:
+    """Give up after the restart budget: record the damage, raise named."""
+    records = []
+    first_error: Optional[BaseException] = None
+    for payload, exc in failures:
+        if first_error is None:
+            first_error = exc
+        if isinstance(exc, CellExecutionError):
+            records.append(exc.as_record())
+        else:
+            for cell_dict in payload["cells"]:
+                cell = Cell.from_dict(cell_dict)
+                if cell.key not in collected and cell.key not in done:
+                    records.append(
+                        {**cell.as_dict(), "key": cell.key, "error": f"{type(exc).__name__}: {exc}"}
+                    )
+    if store is not None:
+        store.write_summary(
+            spec.as_dict(),
+            sorted(_dedup_rows(done, collected), key=lambda row: row.get("key", "")),
+            cache_stats=CacheStats.merged(stats_dicts).as_dict(),
+            workers=workers,
+            failed=records,
+            recovery=recovery,
+        )
+    if isinstance(first_error, CellExecutionError):
+        raise first_error
+    keys = ", ".join(sorted(record["key"] for record in records)) or "?"
+    raise CellExecutionError(
+        keys, cause=f"shards failed after {recovery['restarts']} restart(s): {first_error}"
+    ) from first_error
+
+
+def verify_store(directory) -> dict:
+    """Replay a finished store's rows against fresh serial computation.
+
+    Re-executes every persisted cell in-process (no cache, no workers) and
+    compares the recomputed row byte-for-byte with the stored one — the
+    independent check that a store (however many faults its sweep survived)
+    contains exactly what a fault-free serial sweep would have produced.
+    Also cross-checks ``summary.json``'s rows against the shard rows when a
+    summary is present.
+
+    Returns a JSON-ready report::
+
+        {"cells": N, "matched": N, "mismatched": [...], "summary_consistent": bool}
+    """
+    store = ResultStore(directory)
+    rows = store.rows()
+    tracer = current_tracer()
+    mismatched: List[dict] = []
+    with tracer.span("engine.verify_store", cells=len(rows)):
+        for row in rows:
+            fresh = run_cell(Cell.from_dict(row))
+            stored_bytes = json.dumps(row, sort_keys=True, default=str)
+            fresh_bytes = json.dumps(fresh, sort_keys=True, default=str)
+            if stored_bytes != fresh_bytes:
+                mismatched.append({"key": row["key"], "stored": row, "recomputed": fresh})
+    summary = store.read_summary()
+    summary_consistent = True
+    if summary is not None:
+        summary_rows = json.dumps(summary.get("rows", []), sort_keys=True, default=str)
+        shard_rows = json.dumps(rows, sort_keys=True, default=str)
+        summary_consistent = summary_rows == shard_rows
+    return {
+        "cells": len(rows),
+        "matched": len(rows) - len(mismatched),
+        "mismatched": mismatched,
+        "summary_consistent": summary_consistent,
+        "scan": dict(store.last_scan),
+    }

@@ -96,7 +96,15 @@ class LintConfig:
             "repro.matching.integral",
         }
     )
-    clock_modules: frozenset = frozenset({"repro.obs.tracer"})
+    clock_modules: frozenset = frozenset(
+        {
+            "repro.obs.tracer",
+            # pool: retry backoff + watchdog joins; faults: stall injection.
+            # Both sleep, neither feeds a clock value into model output.
+            "repro.engine.pool",
+            "repro.engine.faults",
+        }
+    )
     worker_modules: frozenset = frozenset({"repro.engine.pool"})
     exact_scopes: Tuple[str, ...] = ("repro.matching", "repro.core")
     exact_exempt: frozenset = frozenset({"repro.matching.lp", "repro.analysis"})

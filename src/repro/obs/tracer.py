@@ -146,6 +146,17 @@ class Tracer:
         """All spans with the given name."""
         return [s for s in self.iter_spans() if s.name == name]
 
+    def graft(self, spans: List[Span]) -> None:
+        """Adopt finished spans recorded elsewhere under the open span.
+
+        Used when work ran against a private tracer (e.g. on a watchdogged
+        worker thread, whose spans must not race this tracer's stack) and
+        its completed span trees should appear in this trace as children of
+        whatever span is currently open — or as roots if none is.
+        """
+        parent = self._stack[-1].children if self._stack else self.roots
+        parent.extend(spans)
+
 
 class _NullSpan:
     """The do-nothing span: a reusable context manager with Span's API."""
@@ -192,6 +203,9 @@ class NullTracer:
 
     def find(self, name: str) -> List[Span]:
         return []
+
+    def graft(self, spans: List[Span]) -> None:
+        return None
 
 
 NULL_TRACER = NullTracer()

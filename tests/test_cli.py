@@ -155,6 +155,43 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["sweep", "--algorithms", "greedy", "--chain", "po"])
 
+    def test_min_hit_rate_with_zero_lookups_is_na(self, capsys):
+        # --no-cache records no lookups: the floor must report n/a, not
+        # fail CI (and certainly not divide by zero)
+        code = main(["sweep", "--smoke", "--no-cache", "--min-hit-rate", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n/a" in out
+        assert "not applied" in out
+
+    def test_faults_plan_replayed(self, tmp_path, capsys):
+        from repro.engine import Fault, FaultPlan
+
+        plan_path = FaultPlan(
+            faults=(Fault(kind="raise-worker", cell="greedy/d4/ec/s0"),)
+        ).dump(tmp_path / "plan.json")
+        code = main(["sweep", "--smoke", "--faults", str(plan_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovered in 1 restart(s)" in out
+
+    def test_unsurvivable_faults_name_the_cell(self, tmp_path, capsys):
+        from repro.engine import Fault, FaultPlan
+
+        plan = FaultPlan(
+            faults=(
+                Fault(kind="raise-worker", cell="greedy/d3/ec/s0", attempt=None, times=99),
+            )
+        )
+        plan_path = plan.dump(tmp_path / "plan.json")
+        code = main([
+            "sweep", "--smoke", "--faults", str(plan_path),
+            "--max-restarts", "1", "--out", str(tmp_path / "out"),
+        ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "greedy/d3/ec/s0" in err
+
 
 class TestVerify:
     def test_refuted_claim_exit_zero(self, capsys):
@@ -188,3 +225,45 @@ class TestVerify:
         main(["verify", "--delta", "4", "--claimed-rounds", "1", "--json", str(target)])
         payload = json.loads(target.read_text(encoding="utf-8"))
         assert payload["kind"] == "locality-violation"
+
+
+class TestVerifyStore:
+    def _sweep(self, out_dir):
+        assert main(["sweep", "--smoke", "--no-cache", "--out", str(out_dir)]) == 0
+
+    def test_clean_store_verifies(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        self._sweep(out_dir)
+        code = main(["verify", "--store", str(out_dir), "--json"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "4/4 rows match" in captured
+        payload = json.loads(captured.strip().splitlines()[-1])
+        assert payload["mismatched"] == []
+        assert payload["summary_consistent"] is True
+
+    def test_tampered_store_fails(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        self._sweep(out_dir)
+        shard = out_dir / "shard-0.jsonl"
+        lines = shard.read_text().splitlines()
+        row = json.loads(lines[0])
+        row["witness_depth"] = 42
+        lines[0] = json.dumps(row, sort_keys=True)
+        shard.write_text("\n".join(lines) + "\n")
+        code = main(["verify", "--store", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MISMATCH" in out
+
+    def test_store_and_claimed_rounds_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["verify", "--store", str(tmp_path), "--claimed-rounds", "1"])
+
+    def test_one_of_store_or_claim_required(self):
+        with pytest.raises(SystemExit, match="required"):
+            main(["verify"])
+
+    def test_missing_store_directory(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such store"):
+            main(["verify", "--store", str(tmp_path / "nope")])

@@ -177,6 +177,47 @@ class TestResultStore:
         store.append(0, {"key": "a", "status": "ok"})
         store.append(1, {"key": "a", "status": "refuted"})
         assert store.completed()["a"]["status"] == "ok"
+        assert store.last_scan["duplicates"] == 1
+
+    def test_torn_final_line_is_silent(self, tmp_path):
+        import warnings
+
+        store = ResultStore(tmp_path)
+        store.append(0, {"key": "a", "status": "ok"})
+        with store.shard_path(0).open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "b", "status"')
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail the test
+            rows = store.rows()
+        assert [row["key"] for row in rows] == ["a"]
+        assert store.last_scan == {"torn_final": 1, "corrupt_lines": 0, "duplicates": 0}
+
+    def test_mid_file_garbage_skipped_loudly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(0, {"key": "a", "status": "ok"})
+        with store.shard_path(0).open("ab") as fh:
+            fh.write(b"\xfe\xfe not json \xfe\n")  # not even valid UTF-8
+        store.append(0, {"key": "b", "status": "ok"})
+        with pytest.warns(RuntimeWarning, match="mid-file corruption"):
+            rows = store.rows()
+        assert [row["key"] for row in rows] == ["a", "b"]
+        assert store.last_scan["corrupt_lines"] == 1
+        assert store.last_scan["torn_final"] == 0
+
+    def test_mid_file_damage_is_counted_on_the_tracer(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(0, {"key": "a", "status": "ok"})
+        with store.shard_path(0).open("a", encoding="utf-8") as fh:
+            fh.write("garbage\n")
+        store.append(0, {"key": "b", "status": "ok"})
+        tracer = Tracer()
+        with use_tracer(tracer), pytest.warns(RuntimeWarning):
+            store.rows()
+        counters = {
+            (c["name"], c["labels"].get("outcome")): c["value"]
+            for c in tracer.metrics.snapshot()["counters"]
+        }
+        assert counters[("engine.store", "corrupt_line")] == 1
 
 
 class TestRunSweep:

@@ -213,14 +213,20 @@ class TestClockExemption:
         assert rules_of(findings) == ["determinism"]
         assert all("random" in f.message for f in findings)
 
-    def test_shipped_tracer_is_the_only_time_reader_in_src(self):
-        # linting src with the exemption removed flags only the tracer module
+    def test_sanctioned_modules_are_the_only_time_readers_in_src(self):
+        # linting src with the exemption removed flags exactly the sanctioned
+        # clock modules: the tracer (span timing), the pool (retry backoff,
+        # watchdog joins) and the fault injector (stall injection)
         from dataclasses import replace
 
         strict = replace(DEFAULT_CONFIG, clock_modules=frozenset())
         findings = lint_paths([SRC], config=strict, select=["determinism"])
         offenders = {f.path for f in findings}
-        assert offenders == {str(SRC / "repro" / "obs" / "tracer.py")}
+        assert offenders == {
+            str(SRC / "repro" / "obs" / "tracer.py"),
+            str(SRC / "repro" / "engine" / "pool.py"),
+            str(SRC / "repro" / "engine" / "faults.py"),
+        }
 
 
 POOL_ONLY = """
