@@ -184,8 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="model-contract static analysis (locality, determinism, "
-        "exact arithmetic, frozen views)",
+        help="model-contract static analysis (per-line rules plus the "
+        "interprocedural effect/concurrency/kernel/suppression checks)",
     )
     lint.add_argument(
         "paths",
@@ -199,6 +199,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the runtime locality sanitizer against a cheating and an "
         "honest EC algorithm instead of linting",
+    )
+    lint.add_argument(
+        "--baseline",
+        nargs="?",
+        const="lint-baseline.json",
+        default=None,
+        metavar="PATH",
+        help="ratchet mode: fail only on findings not in the committed "
+        "baseline (default path: lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        nargs="?",
+        const="lint-baseline.json",
+        default=None,
+        metavar="PATH",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 log (GitHub "
+        "code scanning)",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's full documentation and exit",
+    )
+    lint.add_argument(
+        "--effects",
+        metavar="MODULE.FUNC",
+        help="print the inferred effect report for a function (or MODULE "
+        "for its module body) instead of linting",
     )
 
     trace = sub.add_parser(
@@ -429,7 +463,7 @@ def _sanitize_demo() -> int:
 
         def initial_state(self, ctx: NodeContext):
             state = super().initial_state(ctx)
-            state["who_am_i"] = ctx.node  # the out-of-model read  # repro: noqa[locality]
+            state["who_am_i"] = ctx.node  # the out-of-model read
             return state
 
     g = path_graph(5)
@@ -450,20 +484,123 @@ def _sanitize_demo() -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .lint import lint_paths, render_json, render_text
+    from .lint import (
+        lint_paths,
+        load_baseline,
+        ratchet,
+        render_json,
+        render_sarif,
+        render_text,
+        write_baseline,
+    )
 
     if args.sanitize_demo:
         return _sanitize_demo()
+    if args.explain:
+        return _lint_explain(args.explain)
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+    if args.effects:
+        return _lint_effects(args.paths, args.effects)
     findings = lint_paths(args.paths)
+    if args.sarif:
+        Path(args.sarif).write_text(render_sarif(findings) + "\n", encoding="utf-8")
+        print(f"wrote SARIF to {args.sarif}")
+    if args.update_baseline:
+        write_baseline(Path(args.update_baseline), findings)
+        print(
+            f"baseline updated: {args.update_baseline} now accepts "
+            f"{len(findings)} finding(s)"
+        )
+        return 0
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(
+                f"repro lint: baseline file {args.baseline} not found; create "
+                f"it with: repro lint --update-baseline {args.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            accepted = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        new, fixed = ratchet(findings, accepted)
+        if args.json is not None:
+            _emit_json(args, render_json(new))
+        else:
+            print(render_text(new))
+        if fixed:
+            print(
+                f"ratchet: {fixed} baselined finding(s) no longer occur; "
+                f"tighten with: repro lint --update-baseline {args.baseline}"
+            )
+        return 1 if new else 0
     if args.json is not None:
         _emit_json(args, render_json(findings))
     else:
         print(render_text(findings))
     return 1 if findings else 0
+
+
+def _lint_explain(rule: str) -> int:
+    """Print one rule's full module documentation."""
+    from .lint.rules import RULE_MODULES
+
+    module = RULE_MODULES.get(rule)
+    if module is None:
+        print(
+            f"repro lint: unknown rule {rule!r}; known rules: "
+            f"{', '.join(sorted(RULE_MODULES))}",
+            file=sys.stderr,
+        )
+        return 2
+    print((module.__doc__ or "").strip())
+    return 0
+
+
+def _lint_effects(paths, qualname: str) -> int:
+    """Print the inferred effect report for one function or module body."""
+    from .lint.engine import (
+        DEFAULT_CONFIG,
+        ProjectUnderLint,
+        _parse_module,
+        _iter_py_files,
+        module_name_for,
+    )
+
+    modules = []
+    for file in _iter_py_files(Path(p) for p in paths):
+        mod, syntax = _parse_module(
+            file.read_text(encoding="utf-8"), str(file), module_name_for(file), DEFAULT_CONFIG
+        )
+        if mod is not None:
+            modules.append(mod)
+    project = ProjectUnderLint(modules=modules, config=DEFAULT_CONFIG)
+    analysis = project.effects
+    fx = analysis.lookup(qualname)
+    if fx is None:
+        print(
+            f"repro lint: no function or module {qualname!r} in the linted "
+            f"paths (use the dotted qualname, e.g. repro.graphs.kernel._label_bytes)",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{fx.qualname}  (module {fx.module}, line {fx.lineno})")
+    print(f"  raw direct effects (pre-noqa): {', '.join(sorted(fx.raw_direct)) or '-'}")
+    print(f"  direct effects:    {', '.join(sorted(fx.direct)) or '-'}")
+    print(f"  visible effects:   {', '.join(sorted(fx.visible)) or '-'}")
+    print(f"  contained at boundaries: {', '.join(sorted(fx.contained)) or '-'}")
+    for effect in sorted(fx.visible):
+        chain = analysis.path(fx.qualname, effect)
+        print(f"  {effect}: {' -> '.join(chain)}")
+        for src in fx.sources.get(effect, []):
+            print(f"    [{src.kind}] line {src.line}: {src.detail}")
+    return 0
 
 
 def _cmd_trace(args) -> int:

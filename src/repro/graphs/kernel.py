@@ -148,12 +148,14 @@ _LABEL_CACHE_LIMIT = 1 << 20
 
 
 def _label_bytes(v: Node) -> bytes:
+    # The memo is observationally transparent — the cached value depends
+    # only on the key — so these two writes are sanctioned global state.
     cached = _label_bytes_cache.get(v)
     if cached is None:
         if len(_label_bytes_cache) >= _LABEL_CACHE_LIMIT:
-            _label_bytes_cache.clear()
+            _label_bytes_cache.clear()  # repro: noqa[effect-escape]
         cached = repr(v).encode("utf-8")
-        _label_bytes_cache[v] = cached
+        _label_bytes_cache[v] = cached  # repro: noqa[effect-escape]
     return cached
 
 

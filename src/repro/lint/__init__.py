@@ -5,7 +5,9 @@ trusted" (DESIGN.md): adversary invariants, covering maps and FM maximality
 are machine-checked.  The *model contracts* the algorithms live under —
 anonymity, determinism, exact arithmetic, frozen views — were previously
 policed only dynamically, when a test happened to exercise the right lift.
-This package turns them into an AST-level static pass:
+This package turns them into a two-layer static pass.
+
+Per-line module rules:
 
 * ``locality``        — EC/PO/OI algorithm classes must not read
                         ``ctx.node`` / ``ctx.identifier`` or reach into the
@@ -20,25 +22,47 @@ This package turns them into an AST-level static pass:
 * ``frozen-mutation`` — no in-place mutation of :class:`NodeContext`,
                         view trees or neighbourhood balls.
 
-Findings are suppressed per line with ``# repro: noqa[rule-id]`` (bare
-``# repro: noqa`` silences every rule on the line); a module opts into
-randomness with a ``# repro: randomized`` marker line.  See
-``docs/static_analysis.md`` for rule-by-rule justification and the runtime
-counterpart, the locality sanitizer in :mod:`repro.local.sanitize`.
+Interprocedural project rules, built on a whole-program call graph
+(:mod:`repro.lint.callgraph`) and transitive effect inference
+(:mod:`repro.lint.effects`):
+
+* ``effect-escape``       — no path from model code into clock / entropy /
+                            worker-spawn / float / global-state effects
+                            that does not cross a declared exemption
+                            boundary — the config allowlists, verified;
+* ``engine-concurrency``  — nothing unpicklable submitted to the worker
+                            pool (however many helper layers deep), no
+                            worker entry point touching module-global
+                            state, no unsanctioned thread targets;
+* ``kernel-escape``       — no post-freeze mutation of
+                            :class:`GraphKernel` internals anywhere
+                            outside the kernel module itself;
+* ``suppression-hygiene`` — no stale/unused ``# repro: noqa`` or marker
+                            comments.
+
+Findings are suppressed with ``# repro: noqa[rule-id]`` on any physical
+line of the offending statement (bare ``# repro: noqa`` silences every
+rule); a module declares a sanctioned effect with a marker line
+(``# repro: randomized|clock|workers|state``).  Accepted findings live in
+a committed baseline with ratchet semantics (:mod:`repro.lint.baseline`).
+See ``docs/static_analysis.md`` for rule-by-rule justification and the
+runtime counterpart, the locality sanitizer in :mod:`repro.local.sanitize`.
 """
 
 from __future__ import annotations
 
+from .baseline import load_baseline, ratchet, write_baseline
 from .engine import (
     DEFAULT_CONFIG,
     Finding,
     LintConfig,
     ModuleUnderLint,
+    ProjectUnderLint,
     lint_paths,
     lint_source,
     module_name_for,
 )
-from .reporters import render_json, render_text, summarize
+from .reporters import render_json, render_sarif, render_text, summarize
 from .rules import ALL_RULES
 
 __all__ = [
@@ -47,10 +71,15 @@ __all__ = [
     "Finding",
     "LintConfig",
     "ModuleUnderLint",
+    "ProjectUnderLint",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "module_name_for",
+    "ratchet",
     "render_json",
+    "render_sarif",
     "render_text",
     "summarize",
+    "write_baseline",
 ]

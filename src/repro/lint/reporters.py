@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import json
 from collections import Counter
+from pathlib import PurePath
 from typing import Dict, List, Sequence
 
 from .engine import Finding
 
-__all__ = ["render_text", "render_json", "summarize"]
+__all__ = ["render_text", "render_json", "render_sarif", "summarize"]
 
 
 def summarize(findings: Sequence[Finding]) -> Dict[str, object]:
@@ -46,3 +47,68 @@ def render_text(findings: Sequence[Finding]) -> str:
 def render_json(findings: Sequence[Finding], indent: int = 2) -> str:
     """The :func:`summarize` dict as JSON text."""
     return json.dumps(summarize(findings), indent=indent)
+
+
+def _rule_descriptions() -> Dict[str, str]:
+    """Rule id -> first docstring line of the implementing module."""
+    from .rules import RULE_MODULES
+
+    out: Dict[str, str] = {}
+    for rule_id, module in RULE_MODULES.items():
+        doc = (module.__doc__ or "").strip().splitlines()
+        out[rule_id] = doc[0].strip() if doc else rule_id
+    out["syntax"] = "``syntax`` — the file could not be parsed."
+    return out
+
+
+def render_sarif(findings: Sequence[Finding], indent: int = 2) -> str:
+    """The findings as a SARIF 2.1.0 log (GitHub code-scanning format).
+
+    Every known rule is declared in the driver (stable tool metadata);
+    results reference rules by id.  Paths are emitted POSIX-style relative
+    URIs, as code scanning expects.
+    """
+    descriptions = _rule_descriptions()
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": PurePath(f.path).as_posix(),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": f.line, "startColumn": f.col},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro/docs/static_analysis.md",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": text},
+                            }
+                            for rule_id, text in sorted(descriptions.items())
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=indent)

@@ -1,18 +1,61 @@
-"""Rule registry: rule id -> ``check(module) -> Iterator[Finding]``.
+"""Rule registry.
 
-Each rule lives in its own module and enforces one model contract; see
-``docs/static_analysis.md`` for the paper/DESIGN justification of each.
+Two kinds of rules:
+
+* *module rules* — ``check(module: ModuleUnderLint) -> Iterator[Finding]``,
+  the per-line contract checks; they see one module at a time;
+* *project rules* — ``check(project: ProjectUnderLint) -> Iterator[Finding]``,
+  the interprocedural whole-program checks; they see every module of the
+  run plus the shared call-graph/effect analyses.
+
+Project rules run after all module rules, in registry order;
+``suppression-hygiene`` must stay last — it audits the accumulated raw
+findings of every other rule.  Each rule lives in its own module and
+enforces one model contract; see ``docs/static_analysis.md`` for the
+paper/DESIGN justification of each, or ``repro lint --explain RULE`` for
+the rule's own documentation.
 """
 
 from __future__ import annotations
 
-from . import determinism, exact_arith, locality, mutation
+from . import (
+    concurrency,
+    determinism,
+    effect_escape,
+    exact_arith,
+    kernel_escape,
+    locality,
+    mutation,
+    suppression,
+)
 
-ALL_RULES = {
+MODULE_RULES = {
     locality.RULE_ID: locality.check,
     determinism.RULE_ID: determinism.check,
     exact_arith.RULE_ID: exact_arith.check,
     mutation.RULE_ID: mutation.check,
 }
 
-__all__ = ["ALL_RULES"]
+PROJECT_RULES = {
+    effect_escape.RULE_ID: effect_escape.check,
+    concurrency.RULE_ID: concurrency.check,
+    kernel_escape.RULE_ID: kernel_escape.check,
+    # must stay last: audits every other rule's raw findings
+    suppression.RULE_ID: suppression.check,
+}
+
+ALL_RULES = {**MODULE_RULES, **PROJECT_RULES}
+
+#: rule id -> implementing module (``repro lint --explain`` reads these docs).
+RULE_MODULES = {
+    locality.RULE_ID: locality,
+    determinism.RULE_ID: determinism,
+    exact_arith.RULE_ID: exact_arith,
+    mutation.RULE_ID: mutation,
+    effect_escape.RULE_ID: effect_escape,
+    concurrency.RULE_ID: concurrency,
+    kernel_escape.RULE_ID: kernel_escape,
+    suppression.RULE_ID: suppression,
+}
+
+__all__ = ["ALL_RULES", "MODULE_RULES", "PROJECT_RULES", "RULE_MODULES"]

@@ -1,0 +1,214 @@
+"""``engine-concurrency`` — what crosses the process boundary must survive it.
+
+The experiment engine ships work to spawn-context worker processes; the
+chaos harness replays runs under injected faults and asserts byte-identical
+output.  Three classes of bug defeat that design silently, and none is
+visible to a per-line rule:
+
+* **unpicklable submissions** — a lambda, nested function, or locally
+  defined class handed to ``pool.submit``/``map``/``apply_async`` pickles
+  only at dispatch time (spawn context), so the failure surfaces as a
+  runtime crash deep in a sweep.  The rule flags them at the submission
+  site — *including* submissions laundered through helper layers: a
+  parameter that flows into a submit position makes every caller's
+  corresponding argument a submission site too (a sink-parameter fixpoint
+  over the call graph).
+* **worker entry points touching module-global state** — a worker entry
+  that mutates module-level state works in-process and silently diverges
+  across processes (each worker has its own copy).  Flagged whenever the
+  resolved entry function's visible effect set contains
+  ``global-mutation``.
+* **unsanctioned thread targets** — ``threading.Thread(target=...)`` with
+  a lambda target (unauditable), or with a project function that mutates
+  module-global state without holding it in a declared
+  :attr:`LintConfig.state_modules` module.  The engine's sanctioned
+  pattern is the watchdog in ``repro.engine.pool``: a named nested
+  function that communicates only through its closure's local containers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Finding
+
+RULE_ID = "engine-concurrency"
+
+#: attribute names that ship their first positional argument to a worker.
+_SUBMIT_METHODS = {
+    "submit",
+    "apply",
+    "apply_async",
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+}
+
+#: external constructors whose ``target=`` runs on another thread/process.
+_TARGET_CONSTRUCTORS = {"threading.Thread", "multiprocessing.Process"}
+
+
+def _callable_problem(info, expr: ast.AST) -> Optional[str]:
+    """Why ``expr``, as a shipped callable, cannot cross a process boundary."""
+    if isinstance(expr, ast.Lambda):
+        return "a lambda"
+    if isinstance(expr, ast.Name):
+        if expr.id in info.nested_defs:
+            return f"locally-defined function '{expr.id}'"
+        if expr.id in info.local_callables:
+            return f"local binding '{expr.id}' of an unpicklable callable"
+    return None
+
+
+def _keyword(node: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def check(project) -> Iterator[Finding]:
+    """Flag unpicklable submissions, stateful workers, rogue threads."""
+    graph = project.callgraph
+    effects = project.effects
+    findings: Dict[Tuple[str, int, str], Finding] = {}
+
+    def add(module: str, line: int, message: str) -> None:
+        mod = project.module_named(module)
+        if mod is None:
+            return
+        findings.setdefault(
+            (mod.path, line, message),
+            Finding(path=mod.path, line=line, col=1, rule=RULE_ID, message=message),
+        )
+
+    # -- pass 1: direct submit/thread sites; seed the sink-param fixpoint
+    sinks: Dict[str, Set[int]] = {}
+
+    def flag_shipped(info, site, expr: ast.AST, what: str) -> None:
+        problem = _callable_problem(info, expr)
+        if problem is not None:
+            add(
+                info.module,
+                expr.lineno,
+                f"{problem} shipped as {what} in '{info.qualname}' cannot "
+                f"cross the process boundary (spawn-context workers pickle "
+                f"their payload); use a module-level function",
+            )
+
+    def note_sink_param(info, expr: ast.AST) -> None:
+        if isinstance(expr, ast.Name) and expr.id in info.params:
+            sinks.setdefault(info.qualname, set()).add(info.params.index(expr.id))
+
+    submit_entries: List[Tuple[object, object, ast.AST]] = []  # (info, site, expr)
+    thread_targets: List[Tuple[object, object, ast.AST]] = []
+
+    for qualname, sites in graph.calls.items():
+        info = graph.functions[qualname]
+        for site in sites:
+            res = site.resolution
+            if site.attr in _SUBMIT_METHODS and site.node.args:
+                expr = site.node.args[0]
+                flag_shipped(info, site, expr, f"a pool .{site.attr}() payload")
+                note_sink_param(info, expr)
+                submit_entries.append((info, site, expr))
+            elif res.kind == "external" and res.target in _TARGET_CONSTRUCTORS:
+                target = _keyword(site.node, "target")
+                if target is None and site.node.args:
+                    target = site.node.args[0]
+                if target is None:
+                    continue
+                if isinstance(target, ast.Lambda):
+                    add(
+                        info.module,
+                        target.lineno,
+                        f"lambda thread target in '{info.qualname}'; thread "
+                        f"entry points must be named functions so their "
+                        f"shared-state discipline is auditable",
+                    )
+                else:
+                    thread_targets.append((info, site, target))
+
+    # -- pass 2: sink-parameter fixpoint — a helper forwarding its
+    # parameter into a submit position makes the caller's argument a
+    # submission site, however many layers deep the laundering goes.
+    changed = True
+    while changed:
+        changed = False
+        for qualname, sites in graph.calls.items():
+            info = graph.functions[qualname]
+            for site in sites:
+                res = site.resolution
+                if res.kind != "project" or res.target not in sinks:
+                    continue
+                callee = graph.functions.get(res.target)
+                if callee is None:
+                    continue
+                for index in sorted(sinks[res.target]):
+                    expr: Optional[ast.AST] = None
+                    if index < len(site.node.args):
+                        expr = site.node.args[index]
+                    elif index < len(callee.params):
+                        expr = _keyword(site.node, callee.params[index])
+                    if expr is None:
+                        continue
+                    problem = _callable_problem(info, expr)
+                    if problem is not None:
+                        add(
+                            info.module,
+                            expr.lineno,
+                            f"{problem} passed to '{res.target}' in "
+                            f"'{info.qualname}' reaches a pool submission and "
+                            f"cannot cross the process boundary; use a "
+                            f"module-level function",
+                        )
+                    if isinstance(expr, ast.Name) and expr.id in info.params:
+                        param_index = info.params.index(expr.id)
+                        if param_index not in sinks.get(qualname, set()):
+                            sinks.setdefault(qualname, set()).add(param_index)
+                            changed = True
+
+    # -- pass 3: worker/thread entry points vs module-global state
+    for info, site, expr in submit_entries:
+        if not isinstance(expr, ast.Name) or expr.id in info.local_names:
+            continue
+        res = graph.resolve(info.module, expr.id)
+        if res.kind != "project" or res.target is None:
+            continue
+        entry = effects.functions.get(res.target)
+        if entry is not None and "global-mutation" in entry.visible:
+            chain = effects.path(res.target, "global-mutation")
+            add(
+                info.module,
+                expr.lineno,
+                f"worker entry '{res.target}' reaches mutable module-level "
+                f"state ({' -> '.join(chain)}); worker state must stay "
+                f"process-local or live in a declared state module",
+            )
+
+    for info, site, target in thread_targets:
+        dotted = None
+        if isinstance(target, ast.Name) and target.id not in info.local_names:
+            dotted = target.id
+        if dotted is None:
+            continue  # named nested targets are the sanctioned watchdog shape
+        res = graph.resolve(info.module, dotted)
+        if res.kind != "project" or res.target is None:
+            continue
+        entry = effects.functions.get(res.target)
+        if entry is not None and "global-mutation" in entry.visible:
+            chain = effects.path(res.target, "global-mutation")
+            add(
+                info.module,
+                target.lineno,
+                f"thread target '{res.target}' mutates module-global state "
+                f"({' -> '.join(chain)}) outside a declared state module; "
+                f"threads may only share state through their own closure",
+            )
+
+    for key in sorted(findings):
+        yield findings[key]

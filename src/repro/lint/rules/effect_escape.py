@@ -1,0 +1,93 @@
+"""``effect-escape`` — ambient effects may not leak into model code.
+
+The per-line ``determinism`` and ``exact-arith`` rules catch effects that
+are *visible on their own line* (``import time``, a float literal).  What
+they provably cannot catch is laundering: a model function calling a
+helper, in another module, that reads the clock — or importing
+``perf_counter`` *re-exported* by a project module, so the forbidden name
+never appears in the model file at all.  This rule closes both holes using
+the interprocedural effect analysis (:mod:`repro.lint.effects`): every
+function defined under :attr:`LintConfig.model_packages` must have an
+empty *visible* effect set for
+
+* ``clock`` / ``entropy`` / ``worker-spawn`` — flagged when the effect
+  arrives via a project call chain or a covert (re-exported) reference;
+  overt direct uses stay the per-line rules' findings, so nothing is
+  double-reported;
+* ``float-arith`` — flagged only when introduced by a call (direct float
+  syntax in exact scope is ``exact-arith``'s finding);
+* ``global-mutation`` — flagged always: model code mutating module-level
+  state is an effect the per-line rules never covered.
+
+An effect stops propagating when its path crosses a declared containment
+boundary (``clock_modules``, ``randomized_modules``, ``worker_modules``,
+``state_modules``, the exact-scope exemptions) — that is what makes the
+allowlists *verified*: calling into ``repro.obs.tracer`` is fine, leaking a
+clock value around it is not.  The finding anchors at the introducing call
+or reference, so a reviewed ``# repro: noqa[effect-escape]`` on that
+statement is the escape hatch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Finding
+
+RULE_ID = "effect-escape"
+
+#: effects this rule reports (kernel-mutation has its own rule).
+_FLAGGED = ("clock", "entropy", "worker-spawn", "float-arith", "global-mutation")
+
+_CONTRACT = {
+    "clock": "model output must not depend on wall clocks",
+    "entropy": "model code must stay deterministic",
+    "worker-spawn": "model code must stay single-process",
+    "float-arith": "exact-scope results must stay in Fraction arithmetic",
+    "global-mutation": "model code must not mutate process-global state",
+}
+
+
+def _qualifies(effect: str, kind: str) -> bool:
+    if effect in ("clock", "entropy", "worker-spawn"):
+        return kind in ("call", "covert")
+    if effect == "float-arith":
+        return kind == "call"
+    return True  # global-mutation: no per-line rule covers it
+
+
+def check(project) -> Iterator[Finding]:
+    """Flag unsanctioned visible effects of model-package functions."""
+    analysis = project.effects
+    for fx in analysis.model_functions():
+        mod = project.module_named(fx.module)
+        if mod is None:
+            continue
+        for effect in _FLAGGED:
+            if effect not in fx.visible:
+                continue
+            sources = [
+                s for s in fx.sources.get(effect, []) if _qualifies(effect, s.kind)
+            ]
+            if not sources:
+                continue  # only overt direct sites: the per-line rules own those
+            src = sources[0]
+            if src.kind == "call":
+                chain = [fx.qualname] + analysis.path(src.detail, effect)
+            else:
+                chain = [fx.qualname, src.detail]
+            how = "re-exported reference" if src.kind == "covert" else (
+                "call chain" if src.kind == "call" else "direct site"
+            )
+            yield Finding(
+                path=mod.path,
+                line=src.line,
+                col=1,
+                rule=RULE_ID,
+                message=(
+                    f"'{fx.qualname}' reaches ambient effect '{effect}' via "
+                    f"{how} {' -> '.join(chain)}; {_CONTRACT[effect]} "
+                    f"(contain it behind a declared boundary module or add a "
+                    f"reviewed noqa)"
+                ),
+            )

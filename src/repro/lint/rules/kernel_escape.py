@@ -1,0 +1,73 @@
+"""``kernel-escape`` — nothing outside the kernel touches frozen internals.
+
+A :class:`repro.graphs.kernel.GraphKernel` is the immutable,
+digest-addressed substrate that every graph view, canonical-form cache
+entry and network routing table shares by reference; its content digest is
+the cache key for canonical forms and sweep shards.  Post-freeze mutation
+of its backing slots (``_slots``, ``_edges``, ``_acc``, ``_next_eid``,
+``_digest``) desynchronises digest from structure and poisons every cache
+keyed by it — while still *looking* like an ordinary attribute write.
+
+The v1 heuristic tracked the variable name ``kernel``; renaming the
+variable (or laundering the kernel through a helper) defeated it.  This
+rule instead consumes the ``kernel-mutation`` effect from the
+interprocedural analysis, which recognises:
+
+* stores/deletions into, and mutator calls on, objects rooted at a
+  parameter or local that statically denotes a kernel (named ``kernel`` or
+  annotated ``GraphKernel``) — through any number of helper layers, since
+  the effect propagates up the call graph;
+* stores/mutator calls reaching into the kernel's internal slot names on
+  *any* non-``self`` root (``g.kernel._edges.pop(...)`` flags regardless
+  of variable naming);
+* ``setattr``/``object.__setattr__`` forging an internal slot by name.
+
+Only :attr:`LintConfig.kernel_modules` (the kernel/builder implementation
+itself, which owns pre-freeze construction) masks the effect.  Builders
+mutate *their own* ``self`` state, which is never flagged — the rule is
+about reaching into someone else's frozen kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set, Tuple
+
+from ..engine import Finding
+
+RULE_ID = "kernel-escape"
+
+
+def check(project) -> Iterator[Finding]:
+    """Flag post-freeze GraphKernel internal mutation outside the kernel."""
+    analysis = project.effects
+    seen: Set[Tuple[str, int, str]] = set()
+    for qualname in sorted(analysis.functions):
+        fx = analysis.functions[qualname]
+        if fx.module in project.config.kernel_modules:
+            continue
+        if "kernel-mutation" not in fx.visible:
+            continue
+        mod = project.module_named(fx.module)
+        if mod is None:
+            continue
+        for src in fx.sources.get("kernel-mutation", []):
+            if src.kind == "call":
+                message = (
+                    f"'{fx.qualname}' passes a kernel into '{src.detail}', "
+                    f"which mutates frozen GraphKernel internals; kernels are "
+                    f"immutable after freeze() (builders own pre-freeze state)"
+                )
+            else:
+                message = (
+                    f"post-freeze mutation of GraphKernel internals in "
+                    f"'{fx.qualname}' ({src.detail}); mutating a frozen "
+                    f"kernel desynchronises its digest and poisons every "
+                    f"cache keyed by it — build a new kernel via GraphBuilder"
+                )
+            key = (mod.path, src.line, message)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Finding(
+                path=mod.path, line=src.line, col=1, rule=RULE_ID, message=message
+            )

@@ -1,22 +1,22 @@
-"""``frozen-mutation`` — contexts, views, balls and kernels are immutable.
+"""``frozen-mutation`` — contexts, views and balls are immutable.
 
 A :class:`repro.local.context.NodeContext` is a frozen snapshot of what a
 node may see; view trees are nested tuples equal to the truncated universal
 cover; neighbourhood :class:`~repro.graphs.neighborhoods.Ball`s are shared
-sub-views; a :class:`repro.graphs.kernel.GraphKernel` is the frozen,
-digest-addressed substrate every graph view, cache entry and network
-routing table shares by reference.  Mutating any of them from algorithm
-code would (a) leak information between nodes through a shared object, and
-(b) silently invalidate the lift-invariance argument that makes the
-simulator runs equal their universal-cover semantics — for kernels it would
-additionally desynchronise the content digest from the structure, poisoning
-every cache keyed by it.  The dataclass is ``frozen`` and ``globals`` is a
-read-only mapping proxy, but Python offers escape hatches; this rule closes
-them statically.
+sub-views.  Mutating any of them from algorithm code would (a) leak
+information between nodes through a shared object, and (b) silently
+invalidate the lift-invariance argument that makes the simulator runs equal
+their universal-cover semantics.  The dataclass is ``frozen`` and
+``globals`` is a read-only mapping proxy, but Python offers escape hatches;
+this rule closes them statically.
+
+(Post-freeze mutation of :class:`repro.graphs.kernel.GraphKernel` internals
+is covered by the interprocedural ``kernel-escape`` rule, which tracks the
+kernel's actual frozen slots instead of guessing from variable names.)
 
 Flagged, for any object rooted at a context-like name (a parameter named
 ``ctx`` or annotated ``NodeContext``, or a variable named ``view`` /
-``ball`` / ``kernel``):
+``ball``):
 
 * attribute or subscript assignment / deletion (``ctx.model = ...``,
   ``ctx.globals["k"] = v``, ``del ball.distances[v]``);
@@ -35,7 +35,7 @@ from .common import ctx_param_names, root_name
 
 RULE_ID = "frozen-mutation"
 
-_TRACKED_NAMES = {"ctx", "view", "ball", "kernel"}
+_TRACKED_NAMES = {"ctx", "view", "ball"}
 _MUTATORS = {
     "append",
     "extend",

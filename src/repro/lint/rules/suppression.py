@@ -1,0 +1,132 @@
+"""``suppression-hygiene`` — every exemption must still earn its keep.
+
+Suppressions and markers are reviewed, load-bearing exemptions from the
+model contracts; once the code under them changes, a stale exemption is a
+hole waiting for the next edit to fall through.  This rule audits all of
+them against the *raw* (pre-suppression) findings of the same run:
+
+* a ``# repro: noqa[...]`` that silences nothing — no raw finding of a
+  listed rule anchors inside its statement — is flagged as unused;
+* a noqa naming a rule id that does not exist is flagged (it will never
+  silence anything, usually a typo like ``exact-arith`` vs ``exactarith``);
+* a module marker (``# repro: randomized|clock|workers|state``) on a
+  module that is *also* listed in the matching :class:`LintConfig` set is
+  redundant; one on a module whose functions never even *raw-direct* the
+  corresponding effect is stale — the exemption outlived the code;
+* staleness is only judged when every rule the suppression could silence
+  was actually selected for this run, so ``select=...`` runs never produce
+  false "unused" reports.
+
+Findings of this rule are exempt from noqa suppression — a stale noqa must
+not be able to silence its own staleness report.  A justified-but-idle
+suppression (kept deliberately, e.g. for a platform-dependent branch)
+belongs in the committed lint baseline instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Finding
+
+RULE_ID = "suppression-hygiene"
+
+#: marker kind -> (LintConfig attribute, effect whose presence justifies it)
+_MARKERS = {
+    "randomized": ("randomized_modules", "entropy"),
+    "clock": ("clock_modules", "clock"),
+    "workers": ("worker_modules", "worker-spawn"),
+    "state": ("state_modules", "global-mutation"),
+}
+
+
+def check(project) -> Iterator[Finding]:
+    """Flag unused noqas, unknown rule ids, redundant/stale markers."""
+    from . import ALL_RULES
+
+    known = set(ALL_RULES) | {"syntax"}
+    selected = set(project.selected)
+    raw_by_path: dict = {}
+    for finding in project.raw_findings:
+        if finding.rule != RULE_ID:
+            raw_by_path.setdefault(finding.path, []).append(finding)
+
+    for mod in project.modules:
+        raw = raw_by_path.get(mod.path, [])
+
+        for noqa in mod.noqa_comments():
+            if noqa.rules is not None:
+                for unknown in sorted(noqa.rules - known):
+                    yield Finding(
+                        path=mod.path,
+                        line=noqa.line,
+                        col=1,
+                        rule=RULE_ID,
+                        message=(
+                            f"noqa names unknown rule '{unknown}' and can "
+                            f"never silence anything; known rules: "
+                            f"{', '.join(sorted(known))}"
+                        ),
+                    )
+            could_silence = (noqa.rules or known) & set(ALL_RULES)
+            if not could_silence <= selected:
+                continue  # partial run: cannot judge staleness
+            used = False
+            for finding in raw:
+                if noqa.rules is not None and finding.rule not in noqa.rules:
+                    continue
+                if noqa.line in mod.suppression_lines(finding.line):
+                    used = True
+                    break
+            if not used:
+                # a noqa the effect analysis consumed (it sanctioned a
+                # direct effect site) is used, even though the sanction
+                # means no raw finding ever anchored there
+                for line, rule in project.effects.sanctioned_sites.get(mod.module, []):
+                    if noqa.rules is not None and rule not in noqa.rules:
+                        continue
+                    if noqa.line in mod.suppression_lines(line):
+                        used = True
+                        break
+            if not used:
+                listed = "" if noqa.rules is None else f"[{', '.join(sorted(noqa.rules))}]"
+                yield Finding(
+                    path=mod.path,
+                    line=noqa.line,
+                    col=1,
+                    rule=RULE_ID,
+                    message=(
+                        f"unused suppression '# repro: noqa{listed}': no "
+                        f"finding anchors inside its statement; remove it or "
+                        f"move it to the line it is meant to cover"
+                    ),
+                )
+
+        for kind, (config_attr, effect) in _MARKERS.items():
+            if not mod.has_marker(kind):
+                continue
+            line = mod.markers()[kind]
+            if mod.module in getattr(project.config, config_attr):
+                yield Finding(
+                    path=mod.path,
+                    line=line,
+                    col=1,
+                    rule=RULE_ID,
+                    message=(
+                        f"redundant marker '# repro: {kind}': module "
+                        f"'{mod.module}' is already listed in "
+                        f"LintConfig.{config_attr}"
+                    ),
+                )
+            elif effect not in project.effects.module_raw_direct(mod.module):
+                yield Finding(
+                    path=mod.path,
+                    line=line,
+                    col=1,
+                    rule=RULE_ID,
+                    message=(
+                        f"stale marker '# repro: {kind}': no function in "
+                        f"'{mod.module}' has any direct '{effect}' effect; "
+                        f"the exemption outlived the code it sanctioned"
+                    ),
+                )

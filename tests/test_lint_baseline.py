@@ -1,0 +1,217 @@
+"""Tests for the lint baseline ratchet, the SARIF/JSON reporters, and the
+operational CLI surfaces (--baseline / --update-baseline / --sarif /
+--explain / --effects)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Finding,
+    lint_paths,
+    load_baseline,
+    ratchet,
+    render_json,
+    render_sarif,
+    write_baseline,
+)
+from repro.lint.baseline import fingerprint
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+
+def finding(path="src/m.py", line=3, rule="determinism", message="boom"):
+    return Finding(path=path, line=line, col=1, rule=rule, message=message)
+
+
+# ---------------------------------------------------------------------------
+# ratchet semantics
+# ---------------------------------------------------------------------------
+
+
+class TestRatchet:
+    def test_round_trip(self, tmp_path):
+        findings = [finding(), finding(line=9, rule="exact-arith", message="f")]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        accepted = load_baseline(path)
+        new, fixed = ratchet(findings, accepted)
+        assert new == [] and fixed == 0
+
+    def test_new_finding_fails_the_ratchet(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding()])
+        fresh = finding(rule="locality", message="peek")
+        new, fixed = ratchet([finding(), fresh], load_baseline(path))
+        assert new == [fresh] and fixed == 0
+
+    def test_line_moves_do_not_count_as_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding(line=3)])
+        new, fixed = ratchet([finding(line=57)], load_baseline(path))
+        assert new == [] and fixed == 0
+
+    def test_second_instance_of_accepted_finding_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding()])
+        new, _ = ratchet([finding(line=3), finding(line=8)], load_baseline(path))
+        assert len(new) == 1
+
+    def test_fixed_findings_are_counted(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding(), finding(rule="locality", message="peek")])
+        new, fixed = ratchet([finding()], load_baseline(path))
+        assert new == [] and fixed == 1
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="malformed"):
+            load_baseline(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_fingerprint_normalises_paths(self):
+        relative = finding(path="src/m.py")
+        absolute = finding(path=str(REPO / "src" / "m.py"))
+        assert fingerprint(relative) == fingerprint(absolute)
+
+    def test_committed_baseline_matches_the_shipped_tree(self):
+        accepted = load_baseline(REPO / "lint-baseline.json")
+        findings = lint_paths([SRC])
+        new, _fixed = ratchet(findings, accepted)
+        assert new == [], "\n".join(f.render() for f in new)
+
+
+# ---------------------------------------------------------------------------
+# reporter schema snapshots — changes to these shapes must be deliberate
+# ---------------------------------------------------------------------------
+
+
+class TestReporterSchemas:
+    def test_json_schema_snapshot(self):
+        payload = json.loads(render_json([finding()]))
+        assert sorted(payload) == ["by_rule", "clean", "findings", "total"]
+        assert sorted(payload["findings"][0]) == [
+            "col",
+            "line",
+            "message",
+            "path",
+            "rule",
+        ]
+        assert payload["clean"] is False
+        assert payload["total"] == 1
+        assert payload["by_rule"] == {"determinism": 1}
+
+    def test_sarif_schema_snapshot(self):
+        log = json.loads(render_sarif([finding()]))
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        # every registered rule is declared, plus the syntax pseudo-rule
+        assert {
+            "locality",
+            "determinism",
+            "exact-arith",
+            "frozen-mutation",
+            "effect-escape",
+            "engine-concurrency",
+            "kernel-escape",
+            "suppression-hygiene",
+            "syntax",
+        } <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "determinism"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/m.py"
+        assert location["region"] == {"startLine": 3, "startColumn": 1}
+
+    def test_sarif_of_clean_run_has_no_results(self):
+        log = json.loads(render_sarif([]))
+        assert log["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# CLI surfaces
+# ---------------------------------------------------------------------------
+
+
+BAD = "import random\nx = random.random()\n"
+
+
+class TestLintCli:
+    def test_baseline_missing_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        code = main(["lint", str(bad), "--baseline", str(tmp_path / "none.json")])
+        assert code == 2
+        assert "--update-baseline" in capsys.readouterr().err
+
+    def test_update_then_ratchet_accepts_old_debt(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--update-baseline", str(baseline)]) == 0
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_ratchet_fails_on_new_debt_only(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--update-baseline", str(baseline)]) == 0
+        bad.write_text(BAD + "import time\ny = time.time()\n")
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "time" in out
+
+    def test_ratchet_reports_reclaimable_slack(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--update-baseline", str(baseline)]) == 0
+        bad.write_text("x = 1\n")
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        assert "tighten" in capsys.readouterr().out
+
+    def test_sarif_file_written(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        sarif = tmp_path / "out.sarif"
+        assert main(["lint", str(bad), "--sarif", str(sarif)]) == 1
+        log = json.loads(sarif.read_text())
+        assert log["runs"][0]["results"]
+
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "effect-escape"]) == 0
+        out = capsys.readouterr().out
+        assert "effect-escape" in out and "boundary" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "nope"]) == 2
+        assert "known rules" in capsys.readouterr().err
+
+    def test_effects_report(self, capsys):
+        assert main(
+            ["lint", str(SRC), "--effects", "repro.graphs.kernel._label_bytes"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "raw direct effects" in out
+        assert "global-mutation" in out  # the sanctioned memo writes
+
+    def test_effects_unknown_function(self, capsys):
+        assert main(["lint", str(SRC), "--effects", "repro.nope.f"]) == 2
+        assert "no function" in capsys.readouterr().err

@@ -1,0 +1,316 @@
+"""Tests for the whole-program rules: engine-concurrency, kernel-escape,
+suppression-hygiene."""
+
+from __future__ import annotations
+
+from repro.lint import lint_paths, lint_source
+
+from tests.test_lint_effects import make_tree
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+def of_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# engine-concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestEngineConcurrency:
+    def test_lambda_submitted_directly(self):
+        source = (
+            "def run(pool):\n"
+            "    return pool.submit(lambda: 1)\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert any(
+            f.rule == "engine-concurrency" and "lambda" in f.message
+            for f in findings
+        )
+
+    def test_nested_function_submitted(self):
+        source = (
+            "def run(pool):\n"
+            "    def work():\n"
+            "        return 1\n"
+            "    return pool.submit(work)\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert any(
+            f.rule == "engine-concurrency" and "locally-defined" in f.message
+            for f in findings
+        )
+
+    def test_module_level_function_submitted_is_fine(self):
+        source = (
+            "def work():\n"
+            "    return 1\n"
+            "def run(pool):\n"
+            "    return pool.submit(work)\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert of_rule(findings, "engine-concurrency") == []
+
+    def test_lambda_laundered_through_two_helpers(self, tmp_path):
+        """THE headline case: the submission is two forwarding layers deep."""
+        project_root = tmp_path / "t"
+        make_tree(
+            project_root,
+            {
+                "eng/pool.py": (
+                    "def _go(pool, fn):\n"
+                    "    return pool.submit(fn, 1)\n"
+                    "def _mid(pool, fn):\n"
+                    "    return _go(pool, fn)\n"
+                    "def run(pool):\n"
+                    "    return _mid(pool, lambda v: v + 1)\n"
+                ),
+            },
+        )
+        findings = lint_paths([project_root])
+        hits = of_rule(findings, "engine-concurrency")
+        assert any(
+            "lambda" in f.message and "reaches a pool submission" in f.message
+            for f in hits
+        ), "\n".join(f.render() for f in findings)
+        # the finding anchors at the call site in run(), not inside the helper
+        assert any(f.line == 6 for f in hits)
+
+    def test_laundered_keyword_argument_also_caught(self, tmp_path):
+        project_root = tmp_path / "t"
+        make_tree(
+            project_root,
+            {
+                "eng/pool.py": (
+                    "def _go(pool, fn):\n"
+                    "    return pool.submit(fn, 1)\n"
+                    "def run(pool):\n"
+                    "    return _go(pool, fn=lambda v: v)\n"
+                ),
+            },
+        )
+        findings = lint_paths([project_root])
+        assert of_rule(findings, "engine-concurrency")
+
+    def test_worker_entry_mutating_global_state(self, tmp_path):
+        project_root = tmp_path / "t"
+        make_tree(
+            project_root,
+            {
+                "eng/pool.py": (
+                    "RESULTS = {}\n"
+                    "def entry(shard):\n"
+                    "    RESULTS[shard] = 1\n"
+                    "def run(pool):\n"
+                    "    return pool.submit(entry, 0)\n"
+                ),
+            },
+        )
+        findings = lint_paths([project_root])
+        assert any(
+            f.rule == "engine-concurrency"
+            and "mutable module-level state" in f.message
+            for f in findings
+        )
+
+    def test_lambda_thread_target_flagged_named_nested_is_sanctioned(self):
+        flagged = lint_source(
+            "import threading\n"
+            "def watch():\n"
+            "    t = threading.Thread(target=lambda: 1)\n"
+            "    t.start()\n",
+            module="fixture",
+        )
+        assert any(
+            f.rule == "engine-concurrency" and "thread target" in f.message
+            for f in flagged
+        )
+        # the engine's watchdog shape: a named nested function target
+        sanctioned = lint_source(
+            "import threading\n"
+            "def watch():\n"
+            "    box = []\n"
+            "    def target():\n"
+            "        box.append(1)\n"
+            "    t = threading.Thread(target=target)\n"
+            "    t.start()\n",
+            module="fixture",
+        )
+        assert of_rule(sanctioned, "engine-concurrency") == []
+
+    def test_thread_target_mutating_globals_flagged(self, tmp_path):
+        project_root = tmp_path / "t"
+        make_tree(
+            project_root,
+            {
+                "eng/w.py": (
+                    "import threading\n"
+                    "STATE = {}\n"
+                    "def poke():\n"
+                    "    STATE['x'] = 1\n"
+                    "def watch():\n"
+                    "    threading.Thread(target=poke).start()\n"
+                ),
+            },
+        )
+        findings = lint_paths([project_root])
+        assert any(
+            f.rule == "engine-concurrency" and "thread target" in f.message
+            for f in findings
+        )
+
+
+# ---------------------------------------------------------------------------
+# kernel-escape
+# ---------------------------------------------------------------------------
+
+
+class TestKernelEscape:
+    def test_direct_internal_mutation_flagged(self):
+        source = (
+            "def corrupt(kernel):\n"
+            "    kernel._slots[0] = {}\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert rules_of(findings) == ["kernel-escape"]
+
+    def test_renamed_kernel_caught_via_annotation(self):
+        source = (
+            "from repro.graphs.kernel import GraphKernel\n"
+            "def corrupt(substrate: GraphKernel):\n"
+            "    substrate._digest = 'forged'\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert rules_of(findings) == ["kernel-escape"]
+
+    def test_internal_attr_on_any_non_self_root_caught(self):
+        # no kernel-named variable at all: the slot name itself is the tell
+        source = (
+            "def corrupt(g):\n"
+            "    g.kernel._edges.pop(3)\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert rules_of(findings) == ["kernel-escape"]
+
+    def test_laundered_through_helper(self, tmp_path):
+        project_root = tmp_path / "t"
+        make_tree(
+            project_root,
+            {
+                "g/surgery.py": (
+                    "def _stitch(kernel, eid):\n"
+                    "    kernel._edges.pop(eid)\n"
+                    "def repair(kernel, eid):\n"
+                    "    _stitch(kernel, eid)\n"
+                ),
+            },
+        )
+        findings = lint_paths([project_root])
+        hits = of_rule(findings, "kernel-escape")
+        assert any("_stitch" in f.message and "repair" in f.message for f in hits)
+
+    def test_builder_self_state_is_not_flagged(self):
+        # builders mutate their *own* _slots/_edges pre-freeze: never flagged
+        source = (
+            "class GraphBuilder:\n"
+            "    def __init__(self):\n"
+            "        self._slots = {}\n"
+            "        self._edges = {}\n"
+            "    def add(self, k, v):\n"
+            "        self._slots[k] = v\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert of_rule(findings, "kernel-escape") == []
+
+    def test_kernel_module_itself_is_sanctioned(self):
+        source = (
+            "def freeze(kernel):\n"
+            "    kernel._digest = 'sealed'\n"
+        )
+        findings = lint_source(source, module="repro.graphs.kernel")
+        assert of_rule(findings, "kernel-escape") == []
+
+    def test_setattr_forging_internal_slot(self):
+        source = (
+            "def forge(thing):\n"
+            "    object.__setattr__(thing, '_digest', 'x')\n"
+        )
+        findings = lint_source(source, module="fixture")
+        assert rules_of(findings) == ["kernel-escape"]
+
+
+# ---------------------------------------------------------------------------
+# suppression-hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionHygiene:
+    def test_unused_noqa_flagged(self):
+        findings = lint_source(
+            "x = 1  # repro: noqa[determinism]\n", module="fixture"
+        )
+        assert rules_of(findings) == ["suppression-hygiene"]
+        assert "unused suppression" in findings[0].message
+
+    def test_used_noqa_not_flagged(self):
+        findings = lint_source(
+            "import random\nx = random.random()  # repro: noqa[determinism]\n",
+            module="fixture",
+        )
+        assert of_rule(findings, "suppression-hygiene") == []
+
+    def test_unknown_rule_id_in_noqa_flagged(self):
+        findings = lint_source(
+            "import random\nx = random.random()  # repro: noqa[determinsm]\n",
+            module="fixture",
+        )
+        assert any(
+            "unknown rule 'determinsm'" in f.message
+            for f in of_rule(findings, "suppression-hygiene")
+        )
+
+    def test_hygiene_findings_cannot_be_noqa_silenced(self):
+        findings = lint_source(
+            "x = 1  # repro: noqa[determinism, suppression-hygiene]\n",
+            module="fixture",
+        )
+        assert rules_of(findings) == ["suppression-hygiene"]
+
+    def test_partial_select_never_reports_unused(self):
+        findings = lint_source(
+            "x = 1  # repro: noqa[determinism]\n",
+            module="fixture",
+            select=["exact-arith", "suppression-hygiene"],
+        )
+        assert findings == []
+
+    def test_redundant_marker_on_config_listed_module(self):
+        findings = lint_source(
+            "# repro: randomized\nimport random\nx = random.random()\n",
+            module="repro.local.randomized",
+        )
+        assert any(
+            "redundant marker" in f.message
+            for f in of_rule(findings, "suppression-hygiene")
+        )
+
+    def test_stale_marker_without_matching_effect(self):
+        findings = lint_source(
+            "# repro: randomized\nx = 1\n", module="fixture"
+        )
+        assert any(
+            "stale marker" in f.message
+            for f in of_rule(findings, "suppression-hygiene")
+        )
+
+    def test_live_marker_not_flagged(self):
+        findings = lint_source(
+            "# repro: randomized\nimport random\nx = random.random()\n",
+            module="fixture",
+        )
+        assert of_rule(findings, "suppression-hygiene") == []
