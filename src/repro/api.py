@@ -9,7 +9,9 @@ Three verbs cover the repository's workflows:
   optionally stacking the Section 5 simulation chain (EC ⇐ PO ⇐ OI ⇐ ID)
   in front of a base machine;
 * :func:`sweep` — run a declarative grid of (algorithm, ∆, chain, seed)
-  cells through the parallel experiment engine (:mod:`repro.engine`).
+  cells through the parallel experiment engine (:mod:`repro.engine`);
+* :func:`bench` — run a declared scaling-experiment suite
+  (:mod:`repro.obs.bench`) and return its per-commit trajectory rows.
 
 Everything here is re-exported keyword-first and model-agnostic: ``run``
 builds the right network adapter from the algorithm's declared model, and
@@ -37,7 +39,7 @@ from .local.runtime import (
     run_rounds as _run_rounds,
 )
 
-__all__ = ["run", "refute", "sweep"]
+__all__ = ["run", "refute", "sweep", "bench"]
 
 _NETWORKS = {"EC": ECNetwork, "PO": PONetwork, "ID": IDNetwork}
 
@@ -141,6 +143,7 @@ def sweep(
     cell_timeout: Optional[float] = None,
     retries: int = 1,
     max_restarts: int = 2,
+    progress=None,
 ):
     """Run a grid of experiment cells through the parallel engine.
 
@@ -153,7 +156,9 @@ def sweep(
     :class:`repro.engine.FaultPlan`, its dict form, or a path to its JSON
     file); ``cell_timeout``/``retries``/``max_restarts`` bound the per-cell
     watchdog, the retry loop, and dead-worker recovery — see
-    ``docs/fault_injection.md``.
+    ``docs/fault_injection.md``.  ``progress`` attaches a
+    :class:`repro.obs.ProgressEmitter` for live heartbeat telemetry; it
+    observes the sweep without changing any row.
     """
     from .engine import GridSpec, run_sweep
 
@@ -171,4 +176,25 @@ def sweep(
         cell_timeout=cell_timeout,
         retries=retries,
         max_restarts=max_restarts,
+        progress=progress,
     )
+
+
+def bench(
+    suite: str = "smoke",
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+    commit: Optional[str] = None,
+):
+    """Run the named scaling-experiment suite; returns its trajectory rows.
+
+    Rows are schema-versioned dicts (see
+    :mod:`repro.obs.bench.trajectory`) and are **not** persisted here —
+    append them with :func:`repro.obs.bench.append_rows`, or use
+    ``python -m repro bench``, which also runs the regression gate
+    (``--check``) and the dashboard (``--report``).
+    """
+    from .obs.bench import run_suite
+
+    return run_suite(suite, repeats=repeats, warmup=warmup, commit=commit)

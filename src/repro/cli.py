@@ -18,8 +18,14 @@ Subcommands (``python -m repro <subcommand> --help`` for details):
                   hottest-spans profile);
 * ``sweep``     — run a declarative (algorithm × Delta × chain × seed) grid
                   through the parallel experiment engine (``repro.engine``),
-                  with canonical-form caching, resumable result shards, and
-                  an optional deterministic fault plan (``--faults``);
+                  with canonical-form caching, resumable result shards, an
+                  optional deterministic fault plan (``--faults``), and live
+                  heartbeat telemetry (``--progress``);
+* ``bench``     — run the declared scaling-experiment suite
+                  (``repro.obs.bench``), append per-commit rows to the
+                  ``BENCH_TRAJECTORY.jsonl`` history, gate regressions
+                  against it (``--check``), or render the trend dashboard
+                  (``--report``);
 * ``verify``    — test a claimed round count through the ``repro.api``
                   facade, optionally stacking a Section 5 chain; or, with
                   ``--store DIR``, replay a finished sweep store's rows
@@ -344,6 +350,79 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rounds of dead-worker recovery before giving up (default 2)",
     )
+    sweep.add_argument(
+        "--progress",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="live heartbeat telemetry: a single-line status on stderr plus "
+        "JSONL events written to PATH (bare: <out>/progress.jsonl when "
+        "--out is set, else stderr only)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the scaling-experiment suite, persist per-commit trajectory "
+        "rows, and gate performance regressions",
+    )
+    bench.add_argument(
+        "--suite",
+        default="smoke",
+        help="declared suite to run (smoke, full; default smoke)",
+    )
+    bench.add_argument(
+        "--trajectory",
+        default="BENCH_TRAJECTORY.jsonl",
+        metavar="PATH",
+        help="append-only trajectory file (default BENCH_TRAJECTORY.jsonl)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="run the suite, compare against the committed trajectory, and "
+        "exit 1 past any declared threshold (nothing is appended)",
+    )
+    bench.add_argument(
+        "--report",
+        action="store_true",
+        help="render the trend dashboard from the trajectory without running",
+    )
+    bench.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="run the suite and print the rows without appending them",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timed repetitions per measurement; the median is recorded "
+        "(default 3)",
+    )
+    bench.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        metavar="N",
+        help="untimed warmup runs per measurement (default 1)",
+    )
+    bench.add_argument(
+        "--commit",
+        default=None,
+        metavar="SHA",
+        help="commit id recorded on rows (default: $REPRO_BENCH_COMMIT or "
+        "git rev-parse HEAD)",
+    )
+    bench.add_argument(
+        "--last",
+        type=int,
+        default=8,
+        metavar="N",
+        help="rows per experiment in the --report dashboard (default 8)",
+    )
+    add_common_options(bench, json_flag=True)
 
     ver = sub.add_parser(
         "verify",
@@ -696,6 +775,17 @@ def _cmd_sweep(args) -> int:
         )
     from .engine import CellExecutionError
 
+    progress = None
+    progress_path = None
+    if args.progress is not None:
+        from .obs.progress import ProgressEmitter
+
+        if isinstance(args.progress, str):
+            progress_path = Path(args.progress)
+        elif args.out:
+            progress_path = Path(args.out) / "progress.jsonl"
+        progress = ProgressEmitter(path=progress_path, stream=sys.stderr)
+
     try:
         result = run_sweep(
             grid,
@@ -708,6 +798,7 @@ def _cmd_sweep(args) -> int:
             cell_timeout=args.cell_timeout,
             retries=args.retries,
             max_restarts=args.max_restarts,
+            progress=progress,
         )
     except ValueError as error:
         raise SystemExit(f"repro sweep: {error}") from None
@@ -719,6 +810,8 @@ def _cmd_sweep(args) -> int:
     print(result.summary())
     if args.out:
         print(f"results under {args.out} (summary.json, trace.json, shard-*.jsonl)")
+    if progress_path is not None:
+        print(f"progress events: {progress_path} ({progress.events} event(s))")
     if args.json is not None:
         payload = {
             "grid": grid.as_dict(),
@@ -751,6 +844,62 @@ def _cmd_sweep(args) -> int:
                 f"(>= {args.min_hit_rate:.3f} required)"
             )
     return 0 if refuted == 0 else 1
+
+
+def _cmd_bench(args) -> int:
+    import json as json_
+
+    from .obs import bench
+
+    if args.report:
+        trajectory_rows = bench.read_rows(args.trajectory)
+        if args.json is not None:
+            _emit_json(args, json_.dumps(trajectory_rows, sort_keys=True, default=str))
+        else:
+            print(bench.render_trajectory(trajectory_rows, last=args.last))
+        return 0
+
+    try:
+        suite = bench.suite_named(args.suite)
+    except ValueError as error:
+        raise SystemExit(f"repro bench: {error}") from None
+    rows = bench.run_suite(
+        suite, repeats=args.repeats, warmup=args.warmup, commit=args.commit
+    )
+
+    if args.check:
+        trajectory_rows = bench.read_rows(args.trajectory)
+        if not trajectory_rows:
+            print(
+                f"repro bench: trajectory {args.trajectory} is empty or missing; "
+                f"record a baseline first with: repro bench --suite {args.suite}",
+                file=sys.stderr,
+            )
+            return 2
+        report = bench.check_rows(rows, trajectory_rows, suite)
+        if args.json is not None:
+            _emit_json(
+                args,
+                json_.dumps(
+                    {"rows": rows, "check": report.as_dict()},
+                    sort_keys=True,
+                    default=str,
+                ),
+            )
+        else:
+            print(bench.render_check(report, rows, trajectory_rows))
+        return 0 if report.ok else 1
+
+    if args.json is not None:
+        _emit_json(args, json_.dumps(rows, sort_keys=True, default=str))
+    else:
+        print(bench.render_rows(rows))
+    if args.dry_run:
+        print(f"dry run: {len(rows)} row(s) not appended to {args.trajectory}")
+    else:
+        bench.append_rows(args.trajectory, rows)
+        print(f"appended {len(rows)} row(s) to {args.trajectory}")
+    return 0
 
 
 def _cmd_verify_store(args) -> int:
@@ -861,6 +1010,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "trace": _cmd_trace,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
         "verify": _cmd_verify,
     }
     return handlers[args.command](args)

@@ -118,6 +118,24 @@ class ResultStore:
         """Cell key -> persisted row for every already-finished cell."""
         return {row["key"]: row for row in self.rows()}
 
+    def count_rows(self) -> int:
+        """Cheap non-empty-line count across shards, for progress polling.
+
+        Skips JSON decoding and the damage policy entirely, so the sweep's
+        progress monitor can poll it frequently while workers are flushing.
+        Torn lines and duplicates make this an upper-bound approximation —
+        exact counts come from :meth:`rows` (and the progress ``final``
+        event, which is derived from them).
+        """
+        total = 0
+        for path in sorted(self.directory.glob("shard-*.jsonl")):
+            try:
+                data = path.read_bytes()
+            except OSError:  # a shard mid-replacement reads as zero rows
+                continue
+            total += sum(1 for line in data.splitlines() if line.strip())
+        return total
+
     # ------------------------------------------------------------------
     # summary
     # ------------------------------------------------------------------

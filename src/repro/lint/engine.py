@@ -144,6 +144,11 @@ class LintConfig:
             # Both sleep, neither feeds a clock value into model output.
             "repro.engine.pool",
             "repro.engine.faults",
+            # progress: heartbeat throttling/ETAs; bench runner: the
+            # warmup/repeat timing harness.  Both inject the clock
+            # (defaulting to perf_counter) and only ever report durations.
+            "repro.obs.progress",
+            "repro.obs.bench.runner",
         }
     )
     worker_modules: frozenset = frozenset({"repro.engine.pool"})

@@ -12,11 +12,20 @@ The package has three small modules:
 * :mod:`repro.obs.export` — JSON / JSONL trace exporters, a span-tree text
   renderer, a per-span-name profile aggregator, and the benchmark-artifact
   writer (``BENCH_E*.json``) used by ``benchmarks/conftest.py``.
+* :mod:`repro.obs.progress` — the :class:`ProgressEmitter` heartbeat hook
+  the sweep engine drives for ``repro sweep --progress`` (JSONL events plus
+  a single-line TTY status).
+* :mod:`repro.obs.bench` — the scaling-experiment benchmark suite behind
+  ``repro bench``: suite declarations, the warmup/repeat runner, the
+  append-only per-commit trajectory store, the regression checker and the
+  dashboard reporters.  Imported lazily (it depends on the engine).
 
 The determinism contract of the repository is preserved: wall-clock reads
-are confined to :mod:`repro.obs.tracer` (see the sanctioned-clock exemption
-in :mod:`repro.lint`), and nothing an algorithm computes may depend on a
-trace — spans observe the computation, they never feed back into it.
+are confined to the sanctioned modules :mod:`repro.obs.tracer`,
+:mod:`repro.obs.progress` and :mod:`repro.obs.bench.runner` (see the
+sanctioned-clock exemption in :mod:`repro.lint`), and nothing an algorithm
+computes may depend on a trace — spans observe the computation, they never
+feed back into it.
 
 See ``docs/observability.md`` for the full API tour, the metric-name and
 span-name catalogues, and the JSON schema.
@@ -25,6 +34,7 @@ span-name catalogues, and the JSON schema.
 from .export import (
     TRACE_SCHEMA_VERSION,
     count_spans,
+    document_profile,
     merge_metrics_snapshots,
     merge_trace_documents,
     profile_rows,
@@ -37,6 +47,7 @@ from .export import (
     write_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .progress import NULL_PROGRESS, ProgressEmitter
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, current_tracer, use_tracer
 
 __all__ = [
@@ -44,14 +55,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROGRESS",
     "NULL_TRACER",
     "NullTracer",
+    "ProgressEmitter",
     "Span",
     "Tracer",
     "current_tracer",
     "use_tracer",
     "TRACE_SCHEMA_VERSION",
     "count_spans",
+    "document_profile",
     "merge_metrics_snapshots",
     "merge_trace_documents",
     "profile_rows",

@@ -1,0 +1,59 @@
+"""The ``repro bench`` scaling-experiment suite.
+
+Five small modules, one pipeline:
+
+* :mod:`~repro.obs.bench.suite` — declarative :class:`Suite` /
+  :class:`Experiment` / :class:`Threshold` definitions (pure data);
+* :mod:`~repro.obs.bench.runner` — the warmup/repeat/median harness that
+  drives the real engine (the sanctioned clock reader);
+* :mod:`~repro.obs.bench.trajectory` — the append-only, schema-versioned
+  per-commit ``BENCH_TRAJECTORY.jsonl`` store;
+* :mod:`~repro.obs.bench.check` — the regression gate comparing fresh rows
+  against the committed trajectory;
+* :mod:`~repro.obs.bench.report` — text renderers (run table, trend
+  dashboard, gate verdict with self-time attribution).
+
+Imported lazily by ``repro.cli`` / ``repro.api`` — this package depends on
+the engine, so ``repro.obs`` must not import it eagerly (the engine imports
+``repro.obs``).
+"""
+
+from .check import CheckReport, Violation, check_rows, profile_attribution
+from .report import render_check, render_rows, render_trajectory
+from .runner import BenchContext, RUNNERS, run_experiment, run_suite
+from .suite import SUITES, Experiment, Suite, Threshold, suite_named
+from .trajectory import (
+    DEFAULT_TRAJECTORY_PATH,
+    TRAJECTORY_SCHEMA_VERSION,
+    append_rows,
+    current_commit,
+    latest_baselines,
+    make_row,
+    read_rows,
+)
+
+__all__ = [
+    "BenchContext",
+    "CheckReport",
+    "DEFAULT_TRAJECTORY_PATH",
+    "Experiment",
+    "RUNNERS",
+    "SUITES",
+    "Suite",
+    "TRAJECTORY_SCHEMA_VERSION",
+    "Threshold",
+    "Violation",
+    "append_rows",
+    "check_rows",
+    "current_commit",
+    "latest_baselines",
+    "make_row",
+    "profile_attribution",
+    "read_rows",
+    "render_check",
+    "render_rows",
+    "render_trajectory",
+    "run_experiment",
+    "run_suite",
+    "suite_named",
+]

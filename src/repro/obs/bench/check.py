@@ -1,0 +1,141 @@
+"""The regression gate: compare fresh bench rows against the trajectory.
+
+Pure functions over plain dicts — the CLI turns a :class:`CheckReport`
+into exit codes, and tests inject synthetic baselines to prove the gate
+trips exactly when a declared threshold is crossed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .suite import Suite
+from .trajectory import latest_baselines
+
+__all__ = ["Violation", "CheckReport", "check_rows", "profile_attribution"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One metric past its declared threshold."""
+
+    experiment: str
+    metric: str
+    baseline: object
+    current: object
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class CheckReport:
+    """Everything ``repro bench --check`` decides and reports."""
+
+    suite: str
+    violations: List[Violation] = field(default_factory=list)
+    #: every (experiment, metric) comparison made, pass or fail
+    compared: List[dict] = field(default_factory=list)
+    #: experiments with no baseline row yet (new experiments pass vacuously)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "ok": self.ok,
+            "violations": [violation.as_dict() for violation in self.violations],
+            "compared": list(self.compared),
+            "missing": list(self.missing),
+        }
+
+
+def check_rows(new_rows: List[dict], trajectory_rows: List[dict], suite: Suite) -> CheckReport:
+    """Judge fresh rows against the latest committed baseline per experiment.
+
+    A metric missing on either side is recorded in ``compared`` with
+    ``ok=None`` but never fails the gate (renaming a metric should not brick
+    the build); an experiment with no baseline lands in ``missing``.
+    """
+    report = CheckReport(suite=suite.name)
+    baselines = latest_baselines(trajectory_rows, suite=suite.name)
+    for row in new_rows:
+        experiment = suite.experiment_named(row["experiment"])
+        if experiment is None:
+            continue
+        baseline = baselines.get(row["experiment"])
+        if baseline is None:
+            report.missing.append(row["experiment"])
+            continue
+        for threshold in experiment.thresholds:
+            base_value = baseline.get("metrics", {}).get(threshold.metric)
+            current_value = row.get("metrics", {}).get(threshold.metric)
+            comparison = {
+                "experiment": row["experiment"],
+                "metric": threshold.metric,
+                "baseline": base_value,
+                "current": current_value,
+                "direction": threshold.direction,
+                "informational": threshold.informational,
+            }
+            if base_value is None or current_value is None:
+                comparison["ok"] = None
+                report.compared.append(comparison)
+                continue
+            reason = threshold.judge(base_value, current_value)
+            comparison["ok"] = reason is None
+            report.compared.append(comparison)
+            if reason is not None:
+                report.violations.append(
+                    Violation(
+                        experiment=row["experiment"],
+                        metric=threshold.metric,
+                        baseline=base_value,
+                        current=current_value,
+                        reason=reason,
+                    )
+                )
+    return report
+
+
+def profile_attribution(
+    baseline_row: Optional[dict], current_row: dict, top: int = 5
+) -> List[dict]:
+    """Which span names grew: per-name self-time delta, biggest first.
+
+    The regression gate's "why": when a wall-time metric trips, the
+    baseline and current trajectory rows both carry a self-time profile, so
+    the report can point at the span names that absorbed the extra time.
+    """
+    baseline_self: Dict[str, float] = {}
+    baseline_calls: Dict[str, int] = {}
+    for row in (baseline_row or {}).get("profile", []):
+        baseline_self[row["name"]] = row.get("self", 0.0)
+        baseline_calls[row["name"]] = row.get("calls", 0)
+    deltas: List[dict] = []
+    for row in current_row.get("profile", []):
+        name = row["name"]
+        delta = row.get("self", 0.0) - baseline_self.get(name, 0.0)
+        deltas.append(
+            {
+                "name": name,
+                "self_delta": round(delta, 6),
+                "self": row.get("self", 0.0),
+                "baseline_self": baseline_self.get(name, 0.0),
+                "calls": row.get("calls", 0),
+                "baseline_calls": baseline_calls.get(name, 0),
+            }
+        )
+    deltas.sort(key=lambda row: (-row["self_delta"], row["name"]))
+    return deltas[:top]

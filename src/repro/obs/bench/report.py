@@ -1,0 +1,158 @@
+"""Text renderers for bench runs, the trajectory dashboard, and the gate.
+
+Everything here is a pure string function over rows and reports; the CLI
+decides what to print and the JSON flag bypasses these entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .check import CheckReport, profile_attribution
+from .trajectory import latest_baselines
+
+__all__ = ["render_rows", "render_trajectory", "render_check"]
+
+#: dashboard column order: the metrics people actually scan for, first
+_PREFERRED_METRICS = (
+    "wall_s",
+    "wall_s_serial",
+    "wall_s_cold",
+    "wall_s_warm",
+    "rows_per_s",
+    "speedup",
+    "warm_speedup",
+    "cache_hit_rate",
+    "cold_hit_rate",
+    "warm_hit_rate",
+    "cells",
+    "refuted",
+    "rows_match",
+)
+
+
+def _short(commit: str) -> str:
+    return commit[:9] if commit else "?"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    text = str(value)
+    return text[:12] if len(text) > 12 else text
+
+
+def _columns(metric_names) -> List[str]:
+    names = set(metric_names)
+    ordered = [name for name in _PREFERRED_METRICS if name in names]
+    ordered += sorted(name for name in names if name not in _PREFERRED_METRICS)
+    return ordered[:8]
+
+
+def render_rows(rows: List[dict]) -> str:
+    """Table of one just-finished suite run, one section per experiment."""
+    lines: List[str] = []
+    for row in rows:
+        lines.append(f"{row['experiment']}  (commit {_short(row.get('commit', ''))})")
+        metrics = row.get("metrics", {})
+        for name in _columns(metrics):
+            lines.append(f"  {name:<18} {_fmt(metrics.get(name))}")
+    return "\n".join(lines)
+
+
+def render_trajectory(
+    trajectory_rows: List[dict], suite: Optional[str] = None, last: int = 8
+) -> str:
+    """The dashboard: per-experiment trend over the last ``last`` commits.
+
+    Each experiment gets a table (newest row last) with a ``Δwall`` column —
+    the percent change of the experiment's primary wall metric vs the
+    previous row — so a slow drift is as visible as a step regression.
+    """
+    if not trajectory_rows:
+        return "trajectory is empty (run `repro bench` to record a first row)"
+    by_experiment: Dict[str, List[dict]] = {}
+    for row in trajectory_rows:
+        if suite is not None and row.get("suite") != suite:
+            continue
+        by_experiment.setdefault(row["experiment"], []).append(row)
+    if not by_experiment:
+        return f"trajectory has no rows for suite {suite!r}"
+    lines: List[str] = []
+    for experiment in sorted(by_experiment):
+        rows = by_experiment[experiment][-last:]
+        columns = _columns(
+            name for row in rows for name in row.get("metrics", {})
+        )
+        wall_metric = next(
+            (name for name in columns if name.startswith("wall_s")), None
+        )
+        lines.append(f"== {experiment} ({len(by_experiment[experiment])} row(s)) ==")
+        header = f"  {'commit':<10} " + " ".join(f"{name:>14}" for name in columns)
+        if wall_metric:
+            header += f" {'Δwall':>8}"
+        lines.append(header)
+        previous_wall = None
+        for row in rows:
+            metrics = row.get("metrics", {})
+            line = f"  {_short(row.get('commit', '')):<10} " + " ".join(
+                f"{_fmt(metrics.get(name)):>14}" for name in columns
+            )
+            if wall_metric:
+                wall = metrics.get(wall_metric)
+                if (
+                    previous_wall
+                    and isinstance(wall, (int, float))
+                    and previous_wall > 0
+                ):
+                    line += f" {100.0 * (wall - previous_wall) / previous_wall:>+7.1f}%"
+                else:
+                    line += f" {'-':>8}"
+                if isinstance(wall, (int, float)):
+                    previous_wall = wall
+            lines.append(line)
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_check(
+    report: CheckReport,
+    new_rows: Optional[List[dict]] = None,
+    trajectory_rows: Optional[List[dict]] = None,
+) -> str:
+    """The gate's verdict, with self-time attribution per violated experiment."""
+    lines: List[str] = []
+    gated = [c for c in report.compared if not c.get("informational")]
+    lines.append(
+        f"bench --check [{report.suite}]: {len(report.violations)} violation(s) "
+        f"across {len(gated)} gated comparison(s)"
+    )
+    for comparison in report.compared:
+        status = {True: "ok", False: "FAIL", None: "skip"}[comparison["ok"]]
+        note = " (informational)" if comparison.get("informational") else ""
+        lines.append(
+            f"  [{status:>4}] {comparison['experiment']}.{comparison['metric']}: "
+            f"{_fmt(comparison['baseline'])} -> {_fmt(comparison['current'])}{note}"
+        )
+    for experiment in report.missing:
+        lines.append(f"  [ new] {experiment}: no baseline row yet, passing vacuously")
+    if report.violations and new_rows is not None:
+        baselines = latest_baselines(trajectory_rows or [], suite=report.suite)
+        current_by_name = {row["experiment"]: row for row in new_rows}
+        for experiment in sorted({v.experiment for v in report.violations}):
+            current = current_by_name.get(experiment)
+            if current is None:
+                continue
+            attribution = profile_attribution(baselines.get(experiment), current)
+            if not attribution:
+                continue
+            lines.append(f"  where {experiment} spent the extra time (self-time Δ):")
+            for row in attribution:
+                lines.append(
+                    f"    {row['name']:<28} {row['self_delta']:>+10.4f}s "
+                    f"({row['baseline_self']:.4f}s -> {row['self']:.4f}s, "
+                    f"{row['baseline_calls']} -> {row['calls']} calls)"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""The append-only per-commit performance trajectory.
+
+``BENCH_TRAJECTORY.jsonl`` holds one schema-versioned JSON row per line —
+one row per (suite, experiment, commit) bench run, appended and never
+rewritten, so the committed file is a monotone history the regression gate
+and the dashboard both read.  Rows are written with sorted keys; the reader
+is tolerant (unparsable lines and foreign schemas are skipped, never
+fatal), mirroring the result store's damage policy.
+
+Row shape::
+
+    {"schema": 1, "suite": "smoke", "experiment": "sweep.delta_scaling",
+     "commit": "<git sha or 'unknown'>", "metrics": {...},
+     "profile": [{"name": ..., "calls": ..., "self": ..., "total": ...}],
+     "env": {"python": "3.11.7"}}
+
+This module reads no clocks; the commit id comes from ``git rev-parse``
+(overridable with ``$REPRO_BENCH_COMMIT`` for hermetic environments).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "TRAJECTORY_SCHEMA_VERSION",
+    "DEFAULT_TRAJECTORY_PATH",
+    "current_commit",
+    "default_env",
+    "make_row",
+    "append_rows",
+    "read_rows",
+    "latest_baselines",
+]
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: repo-root trajectory file the CLI defaults to
+DEFAULT_TRAJECTORY_PATH = "BENCH_TRAJECTORY.jsonl"
+
+_COMMIT_ENV = "REPRO_BENCH_COMMIT"
+
+
+def current_commit() -> str:
+    """The commit id recorded on trajectory rows.
+
+    ``$REPRO_BENCH_COMMIT`` wins when set; otherwise ``git rev-parse HEAD``;
+    ``"unknown"`` when neither is available (e.g. a source tarball).
+    """
+    override = os.environ.get(_COMMIT_ENV)
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def default_env() -> Dict[str, str]:
+    """The environment fingerprint stored on a row (informational only)."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+    }
+
+
+def make_row(
+    *,
+    suite: str,
+    experiment: str,
+    commit: str,
+    metrics: Dict,
+    profile: Optional[List[dict]] = None,
+    env: Optional[Dict[str, str]] = None,
+) -> dict:
+    """One schema-versioned trajectory row, JSON-ready."""
+    return {
+        "schema": TRAJECTORY_SCHEMA_VERSION,
+        "suite": suite,
+        "experiment": experiment,
+        "commit": commit,
+        "metrics": dict(metrics),
+        "profile": list(profile) if profile else [],
+        "env": dict(env) if env is not None else default_env(),
+    }
+
+
+def append_rows(path, rows: List[dict]) -> Path:
+    """Append rows to the trajectory file (created on first write)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def read_rows(path) -> List[dict]:
+    """Every readable trajectory row, in file (= chronological) order.
+
+    Unparsable lines, non-dict payloads, and rows without an
+    ``experiment`` are skipped silently — a damaged line must never take
+    the whole history down.  Rows from *newer* schemas than this reader are
+    kept (fields this reader knows keep their meaning; unknown fields ride
+    along).
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows: List[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(row, dict) and row.get("experiment"):
+            rows.append(row)
+    return rows
+
+
+def latest_baselines(
+    rows: List[dict], suite: Optional[str] = None
+) -> Dict[str, dict]:
+    """Experiment name -> most recent row (file order, last wins).
+
+    ``suite`` filters to rows recorded for that suite, so a smoke baseline
+    is never compared against a full-suite run of the same experiment.
+    """
+    baselines: Dict[str, dict] = {}
+    for row in rows:
+        if suite is not None and row.get("suite") != suite:
+            continue
+        baselines[row["experiment"]] = row
+    return baselines

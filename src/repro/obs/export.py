@@ -24,6 +24,8 @@ import json
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from .metrics import percentile_from_buckets
+
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "span_to_dict",
@@ -34,6 +36,7 @@ __all__ = [
     "write_jsonl",
     "render_tree",
     "profile_rows",
+    "document_profile",
     "render_profile",
     "count_spans",
     "write_bench_artifact",
@@ -72,7 +75,9 @@ def _metric_key(row: dict) -> Tuple:
 def merge_metrics_snapshots(snapshots) -> dict:
     """Combine several ``MetricsRegistry.snapshot()`` payloads into one.
 
-    Counters and histogram counts/totals add; histogram min/max widen;
+    Counters and histogram counts/totals add; histogram min/max widen and
+    log2 bucket counts add, from which the merged p50/p95 are recomputed
+    (bucket addition is associative, so merge order does not matter);
     gauges keep the last written value in snapshot order.  Rows keep the
     snapshot sort order (name, then labels).
     """
@@ -88,14 +93,27 @@ def merge_metrics_snapshots(snapshots) -> dict:
         for row in snapshot.get("histograms", []):
             merged = histograms.get(_metric_key(row))
             if merged is None:
-                histograms[_metric_key(row)] = dict(row)
+                merged = dict(row)
+                merged["buckets"] = dict(row.get("buckets", {}))
+                histograms[_metric_key(row)] = merged
                 continue
             merged["count"] += row["count"]
             merged["total"] += row["total"]
             for bound, pick in (("min", min), ("max", max)):
                 values = [v for v in (merged[bound], row[bound]) if v is not None]
                 merged[bound] = pick(values) if values else None
+            for key, bucket_count in row.get("buckets", {}).items():
+                merged["buckets"][key] = merged["buckets"].get(key, 0) + bucket_count
             merged["mean"] = merged["total"] / merged["count"] if merged["count"] else 0
+    for merged in histograms.values():
+        for q, field in ((0.50, "p50"), (0.95, "p95")):
+            merged[field] = percentile_from_buckets(
+                merged.get("buckets", {}),
+                merged["count"],
+                q,
+                lo=merged["min"],
+                hi=merged["max"],
+            )
     return {
         "counters": [counters[k] for k in sorted(counters)],
         "gauges": [gauges[k] for k in sorted(gauges)],
@@ -234,6 +252,30 @@ def profile_rows(tracer) -> List[dict]:
     return rows
 
 
+def document_profile(*documents) -> List[dict]:
+    """:func:`profile_rows` over serialized trace documents instead of a
+    live tracer: aggregates the nested span dicts of every document passed,
+    hottest self-time first.  Used by ``repro bench`` to attribute a wall
+    time regression to span names without keeping tracers alive."""
+    agg: Dict[str, dict] = {}
+    stack: List[dict] = []
+    for doc in documents:
+        stack.extend(doc.get("spans", []))
+    while stack:
+        span = stack.pop()
+        row = agg.setdefault(
+            span["name"], {"name": span["name"], "calls": 0, "total": 0.0, "self": 0.0}
+        )
+        row["calls"] += 1
+        row["total"] += span.get("duration", 0.0) or 0.0
+        row["self"] += span.get("self_time", 0.0) or 0.0
+        stack.extend(span.get("children", []))
+    rows = sorted(agg.values(), key=lambda r: (-r["self"], -r["total"], r["name"]))
+    for row in rows:
+        row["mean"] = row["total"] / row["calls"] if row["calls"] else 0.0
+    return rows
+
+
 def render_profile(rows: List[dict], top: int = 10) -> str:
     """Text table of the top-``top`` hottest span names."""
     lines = [f"{'span':<28} {'calls':>7} {'self ms':>10} {'total ms':>10} {'mean ms':>10}"]
@@ -263,6 +305,9 @@ def write_bench_artifact(
     groups (several experiment tables can share an id like ``E1``); ``lint``
     is the lint-cleanliness header of the run; ``profile`` an optional
     span-name profile when the bench session ran under a tracer.
+
+    Keys are sorted so re-running an unchanged benchmark reproduces the
+    committed artifact byte for byte.
     """
     path = Path(path)
     document = {
@@ -272,5 +317,8 @@ def write_bench_artifact(
         "lint": lint,
         "profile": profile,
     }
-    path.write_text(json.dumps(document, indent=2, default=str) + "\n", encoding="utf-8")
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
     return path

@@ -1,0 +1,259 @@
+"""Live sweep progress telemetry: heartbeat JSONL events + a TTY status line.
+
+The engine drives a :class:`ProgressEmitter` while a sweep runs (see
+``repro.engine.pool``): one ``start`` event, throttled ``heartbeat`` events
+as cells finish, and one forced ``final`` event whose counts are exact —
+the final ``done`` always equals the ``"cells"`` count of the sweep's
+``summary.json``.  Events are appended to a JSONL file (one JSON object per
+line, flushed per event, so a killed sweep still leaves a readable event
+log) and optionally rendered as a single ``\\r``-rewritten status line on a
+TTY stream.
+
+Progress observes the sweep, it never feeds back into it: result rows are
+byte-identical with the emitter attached or absent, and heartbeat counts on
+the parallel path are best-effort approximations read from the result store
+(``final`` is the only event with exactness guarantees).
+
+This module is a sanctioned wall-clock reader (``LintConfig.clock_modules``):
+the clock is injected and defaults to :func:`time.perf_counter`, mirroring
+the tracer's discipline, so tests drive the throttle with a fake clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+__all__ = [
+    "PROGRESS_SCHEMA_VERSION",
+    "ProgressEmitter",
+    "NullProgressEmitter",
+    "NULL_PROGRESS",
+    "read_progress_events",
+]
+
+PROGRESS_SCHEMA_VERSION = 1
+
+
+class ProgressEmitter:
+    """Emit sweep heartbeat events to a JSONL file and/or a TTY stream.
+
+    ``interval`` throttles heartbeats (seconds of injected-clock time
+    between emitted events); ``start``/``final`` events and ``force=True``
+    updates always emit.  Either sink may be ``None``.
+    """
+
+    def __init__(
+        self,
+        path=None,
+        stream=None,
+        interval: float = 1.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.stream = stream
+        self.interval = interval
+        self.events = 0
+        self._clock = clock if clock is not None else time.perf_counter
+        self._fh = None
+        self._t0: Optional[float] = None
+        self._last_emit: Optional[float] = None
+        self._finished = False
+        self._tty_dirty = False
+        self.total = 0
+        self.resumed = 0
+        self._last = {"done": 0, "failed": 0, "retries": 0}
+
+    def start(self, total: int, resumed: int = 0) -> None:
+        """Open the sinks and emit the ``start`` event."""
+        self.total = total
+        self.resumed = resumed
+        self._t0 = self._clock()
+        if self.path is not None:
+            self._fh = self.path.open("w", encoding="utf-8")
+        self._emit("start", done=resumed, force=True)
+
+    def update(
+        self,
+        done: int,
+        failed: int = 0,
+        retries: int = 0,
+        cache_hits: int = 0,
+        cache_lookups: int = 0,
+        force: bool = False,
+    ) -> None:
+        """Emit a ``heartbeat`` unless one was emitted less than
+        ``interval`` seconds ago (``force=True`` bypasses the throttle)."""
+        if self._t0 is None or self._finished:
+            return
+        now = self._clock()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self.interval
+        ):
+            return
+        self._emit(
+            "heartbeat",
+            done=done,
+            failed=failed,
+            retries=retries,
+            cache_hits=cache_hits,
+            cache_lookups=cache_lookups,
+            force=True,
+            now=now,
+        )
+
+    def finish(
+        self,
+        done: int,
+        failed: int = 0,
+        retries: int = 0,
+        cache_hits: int = 0,
+        cache_lookups: int = 0,
+    ) -> None:
+        """Emit the exact ``final`` event and close the sinks."""
+        if self._t0 is None or self._finished:
+            return
+        self._emit(
+            "final",
+            done=done,
+            failed=failed,
+            retries=retries,
+            cache_hits=cache_hits,
+            cache_lookups=cache_lookups,
+            force=True,
+        )
+        self._finished = True
+        self.close()
+
+    def close(self) -> None:
+        """Close the sinks; emits an ``aborted`` event first if the sweep
+        never reached :meth:`finish` (e.g. it raised)."""
+        if self._t0 is not None and not self._finished:
+            self._emit("aborted", force=True, **self._last)
+            self._finished = True
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.stream is not None and self._tty_dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._tty_dirty = False
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        done: int = 0,
+        failed: int = 0,
+        retries: int = 0,
+        cache_hits: int = 0,
+        cache_lookups: int = 0,
+        force: bool = False,
+        now: Optional[float] = None,
+    ) -> None:
+        del force  # callers already decided; kept for call-site symmetry
+        now = self._clock() if now is None else now
+        done = max(0, min(done, self.total))
+        pending = max(0, self.total - done - failed)
+        elapsed = max(0.0, now - self._t0)
+        computed = max(0, done - self.resumed)
+        rate = computed / elapsed if elapsed > 0 else None
+        eta = pending / rate if rate else None
+        hit_rate = cache_hits / cache_lookups if cache_lookups else None
+        event = {
+            "schema": PROGRESS_SCHEMA_VERSION,
+            "event": kind,
+            "elapsed_s": round(elapsed, 6),
+            "total": self.total,
+            "done": done,
+            "pending": pending,
+            "failed": failed,
+            "resumed": self.resumed,
+            "retries": retries,
+            "cache_hits": cache_hits,
+            "cache_lookups": cache_lookups,
+            "cache_hit_rate": hit_rate,
+            "rows_per_s": round(rate, 3) if rate is not None else None,
+            "eta_s": round(eta, 3) if eta is not None else None,
+        }
+        self._last = {"done": done, "failed": failed, "retries": retries}
+        self._last_emit = now
+        self.events += 1
+        if self._fh is not None:
+            self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+            self._fh.flush()
+        if self.stream is not None:
+            self._render_tty(event)
+
+    def _render_tty(self, event: dict) -> None:
+        bits = [
+            f"sweep {event['done']}/{event['total']} done",
+            f"{event['failed']} failed",
+            f"{event['retries']} retries",
+        ]
+        if event["cache_hit_rate"] is not None:
+            bits.append(f"hit {event['cache_hit_rate'] * 100:.0f}%")
+        if event["rows_per_s"] is not None:
+            bits.append(f"{event['rows_per_s']:.1f} rows/s")
+        if event["eta_s"] is not None:
+            bits.append(f"eta {event['eta_s']:.1f}s")
+        line = f"[{event['event']}] " + " | ".join(bits)
+        if getattr(self.stream, "isatty", lambda: False)():
+            # one rewritten line; pad so a shorter line fully overwrites
+            self.stream.write("\r" + line.ljust(79))
+            self._tty_dirty = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+
+class NullProgressEmitter:
+    """No-op stand-in the engine uses when no progress sink is wanted."""
+
+    __slots__ = ()
+
+    path = None
+    stream = None
+    interval = 1.0
+    events = 0
+
+    def start(self, total: int, resumed: int = 0) -> None:
+        pass
+
+    def update(self, done: int, failed: int = 0, retries: int = 0,
+               cache_hits: int = 0, cache_lookups: int = 0,
+               force: bool = False) -> None:
+        pass
+
+    def finish(self, done: int, failed: int = 0, retries: int = 0,
+               cache_hits: int = 0, cache_lookups: int = 0) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_PROGRESS = NullProgressEmitter()
+
+
+def read_progress_events(path) -> list:
+    """Read a progress JSONL file back as a list of event dicts.
+
+    Tolerant of a torn final line (the signature of a killed writer):
+    unparsable lines are skipped.
+    """
+    events = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return events

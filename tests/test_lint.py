@@ -216,7 +216,9 @@ class TestClockExemption:
     def test_sanctioned_modules_are_the_only_time_readers_in_src(self):
         # linting src with the exemption removed flags exactly the sanctioned
         # clock modules: the tracer (span timing), the pool (retry backoff,
-        # watchdog joins) and the fault injector (stall injection)
+        # watchdog joins), the fault injector (stall injection), the progress
+        # emitter (heartbeat throttling/ETAs) and the bench runner (the
+        # warmup/repeat timing harness)
         from dataclasses import replace
 
         strict = replace(DEFAULT_CONFIG, clock_modules=frozenset())
@@ -224,9 +226,24 @@ class TestClockExemption:
         offenders = {f.path for f in findings}
         assert offenders == {
             str(SRC / "repro" / "obs" / "tracer.py"),
+            str(SRC / "repro" / "obs" / "progress.py"),
+            str(SRC / "repro" / "obs" / "bench" / "runner.py"),
             str(SRC / "repro" / "engine" / "pool.py"),
             str(SRC / "repro" / "engine" / "faults.py"),
         }
+
+    def test_sanctioned_clock_set_is_exactly_declared(self):
+        # the PR-5 pattern: the config names the sanctioned set explicitly,
+        # so adding a clock reader anywhere else must touch this assertion
+        assert DEFAULT_CONFIG.clock_modules == frozenset(
+            {
+                "repro.obs.tracer",
+                "repro.obs.progress",
+                "repro.obs.bench.runner",
+                "repro.engine.pool",
+                "repro.engine.faults",
+            }
+        )
 
 
 POOL_ONLY = """

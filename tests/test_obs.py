@@ -14,6 +14,9 @@ from repro.obs import (
     Tracer,
     count_spans,
     current_tracer,
+    document_profile,
+    merge_metrics_snapshots,
+    merge_trace_documents,
     profile_rows,
     render_profile,
     render_tree,
@@ -24,6 +27,7 @@ from repro.obs import (
     write_json,
     write_jsonl,
 )
+from repro.obs.metrics import bucket_key, percentile_from_buckets
 
 
 class FakeClock:
@@ -325,3 +329,149 @@ class TestInstrumentationIntegration:
         (refute_span,) = tracer.find("theorem.refute")
         assert refute_span.attrs["kind"] in ("incorrect-output", "locality-violation")
         assert tracer.find("sim.ec_from_po")
+
+
+class TestHistogramPercentiles:
+    def test_bucket_key_is_log2_with_an_underflow_bucket(self):
+        assert bucket_key(0) == "-inf"
+        assert bucket_key(-3) == "-inf"
+        assert bucket_key(1) == "0"
+        assert bucket_key(2) == "1"
+        assert bucket_key(3) == "2"  # bucket e covers (2**(e-1), 2**e]
+        assert bucket_key(4) == "2"
+        assert bucket_key(0.5) == "-1"
+
+    def test_single_value_reports_itself_exactly(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        h.observe(7)
+        assert h.p50 == 7 and h.p95 == 7  # clamped into [min, max]
+
+    def test_percentiles_walk_the_bucket_edges(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in range(1, 101):
+            h.observe(v)
+        # rank 50 lands in bucket "6" = (32, 64]; its upper edge is reported
+        assert h.p50 == 64.0
+        # rank 95 lands in bucket "7" = (64, 128], clamped to the true max
+        assert h.p95 == 100.0
+
+    def test_non_positive_values_share_the_underflow_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("delta")
+        h.observe(0)
+        h.observe(0)
+        assert h.buckets == {"-inf": 2}
+        assert h.p50 == 0.0 and h.p95 == 0.0
+
+    def test_empty_histogram_has_no_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("unused")
+        assert h.p50 is None and h.p95 is None
+        assert percentile_from_buckets({}, 0, 0.5) is None
+
+    def test_snapshot_rows_carry_percentiles_and_sorted_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in (0, 1, 1024):
+            h.observe(v)
+        (row,) = reg.snapshot()["histograms"]
+        assert row["p50"] == 1.0 and row["p95"] == 1024.0
+        assert list(row["buckets"]) == ["-inf", "0", "10"]
+
+
+def snapshot_of(build) -> dict:
+    reg = MetricsRegistry()
+    build(reg)
+    return reg.snapshot()
+
+
+class TestSnapshotMerge:
+    def test_merging_no_snapshots_yields_an_empty_snapshot(self):
+        assert merge_metrics_snapshots([]) == {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+
+    def test_label_collisions_across_workers_stay_separate_rows(self):
+        a = snapshot_of(lambda r: r.counter("runs", model="EC").inc(2))
+
+        def build_b(r):
+            r.counter("runs", model="EC").inc(3)
+            r.counter("runs", model="PO").inc(1)
+
+        b = snapshot_of(build_b)
+        merged = merge_metrics_snapshots([a, b])
+        rows = {tuple(sorted(row["labels"].items())): row["value"]
+                for row in merged["counters"]}
+        # same name + same labels sum; same name + different labels never mix
+        assert rows[(("model", "EC"),)] == 5
+        assert rows[(("model", "PO"),)] == 1
+
+    def test_gauges_keep_the_last_written_value(self):
+        a = snapshot_of(lambda r: r.gauge("depth").set(1))
+        b = snapshot_of(lambda r: r.gauge("depth").set(9))
+        merged = merge_metrics_snapshots([a, b])
+        assert merged["gauges"][0]["value"] == 9
+
+    def test_histograms_widen_and_recompute_percentiles(self):
+        def build_low(r):
+            for v in (1, 2):
+                r.histogram("latency").observe(v)
+
+        def build_high(r):
+            for v in (64, 100):
+                r.histogram("latency").observe(v)
+
+        merged = merge_metrics_snapshots([snapshot_of(build_low), snapshot_of(build_high)])
+        (row,) = merged["histograms"]
+        assert row["count"] == 4
+        assert row["min"] == 1 and row["max"] == 100
+        assert row["mean"] == pytest.approx(167 / 4)
+        # merged p50/p95 come from the merged buckets, not either input's
+        assert row["p50"] == 2.0
+        assert row["p95"] == 100.0
+
+    def test_merge_does_not_mutate_the_input_snapshots(self):
+        a = snapshot_of(lambda r: r.histogram("latency").observe(1))
+        b = snapshot_of(lambda r: r.histogram("latency").observe(100))
+        before = json.dumps(a, sort_keys=True)
+        merge_metrics_snapshots([a, b])
+        assert json.dumps(a, sort_keys=True) == before
+
+    def test_histogram_merge_is_associative(self):
+        def worker(values):
+            def build(r):
+                r.counter("rows").inc(len(values))
+                for v in values:
+                    r.histogram("latency", shard="s").observe(v)
+
+            return snapshot_of(build)
+
+        a, b, c = worker([1, 3]), worker([8, 0]), worker([900])
+        left = merge_metrics_snapshots([a, merge_metrics_snapshots([b, c])])
+        right = merge_metrics_snapshots([merge_metrics_snapshots([a, b]), c])
+        assert json.dumps(left, sort_keys=True) == json.dumps(right, sort_keys=True)
+
+    def test_merge_trace_documents_annotates_root_origins(self):
+        docs = [trace_document(make_traced(), command="w0"),
+                trace_document(make_traced(), command="w1")]
+        merged = merge_trace_documents(docs, command="sweep")
+        assert merged["merged_from"] == 2
+        assert [s["attrs"]["merged_from"] for s in merged["spans"]] == [0, 1]
+        assert merged["metrics"]["counters"][0]["value"] == 2  # 1 run per worker
+
+    def test_merge_trace_documents_of_nothing(self):
+        merged = merge_trace_documents([])
+        assert merged["merged_from"] == 0 and merged["spans"] == []
+
+    def test_document_profile_matches_the_live_profile(self):
+        tracer = make_traced()
+        live = profile_rows(tracer)
+        from_doc = document_profile(trace_document(tracer))
+        key = lambda rows: [  # noqa: E731 - local comparison shim
+            {k: row[k] for k in ("name", "calls", "total", "self")} for row in rows
+        ]
+        assert key(from_doc) == key(live)
