@@ -16,13 +16,17 @@ Three verbs cover the repository's workflows:
 Everything here is re-exported keyword-first and model-agnostic: ``run``
 builds the right network adapter from the algorithm's declared model, and
 ``refute`` accepts either a ready EC-weight algorithm or a ``chain`` name.
-The lower-level modules remain importable, but new code (and the CLI)
-should go through this facade.
+Returns are typed: ``run`` a :class:`RunResult`, ``refute`` a
+:class:`Refutation`, ``sweep`` a frozen :class:`SweepReport`, ``bench`` a
+frozen :class:`BenchReport` — no raw dict ever escapes the facade.  The
+lower-level modules remain importable, but new code (and the CLI) should
+go through this facade.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from .core.theorem import Refutation, chain_from_name
 from .core.theorem import refute as _theorem_refute
@@ -39,9 +43,82 @@ from .local.runtime import (
     run_rounds as _run_rounds,
 )
 
-__all__ = ["run", "refute", "sweep", "bench"]
+__all__ = [
+    "BenchReport",
+    "Refutation",
+    "RunResult",
+    "SweepReport",
+    "bench",
+    "refute",
+    "run",
+    "sweep",
+]
 
 _NETWORKS = {"EC": ECNetwork, "PO": PONetwork, "ID": IDNetwork}
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Immutable facade view of one sweep, mirroring
+    :class:`repro.engine.SweepResult`.
+
+    ``rows`` is a tuple (the engine's merged, key-sorted result rows);
+    ``cache`` is the engine's :class:`~repro.engine.cache.CacheStats`;
+    ``summary`` is the engine's one-line human account, precomputed so the
+    report never needs the engine imported to describe itself.
+    """
+
+    grid: Mapping[str, Any]
+    rows: Tuple[Mapping[str, Any], ...]
+    workers: int
+    backend: str
+    cache: Any
+    resumed: int
+    recovery: Mapping[str, int]
+    out_dir: Optional[str]
+    trace: Optional[Mapping[str, Any]]
+    summary: str
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @classmethod
+    def from_engine(cls, result) -> "SweepReport":
+        """Freeze a :class:`repro.engine.SweepResult` into a report."""
+        return cls(
+            grid=result.grid,
+            rows=tuple(result.rows),
+            workers=result.workers,
+            backend=result.backend,
+            cache=result.cache,
+            resumed=result.resumed,
+            recovery=result.recovery,
+            out_dir=result.out_dir,
+            trace=result.trace,
+            summary=result.summary(),
+        )
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """Immutable facade view of one bench-suite run.
+
+    ``rows`` are the schema-versioned trajectory rows (see
+    :mod:`repro.obs.bench.trajectory`), untouched, so they can be handed
+    straight to ``append_rows``/``check_rows``.
+    """
+
+    suite: str
+    rows: Tuple[Mapping[str, Any], ...]
+
+    @property
+    def commit(self) -> Optional[str]:
+        return self.rows[0].get("commit") if self.rows else None
+
+    @property
+    def experiments(self) -> Tuple[str, ...]:
+        return tuple(row.get("experiment", "?") for row in self.rows)
 
 
 def _as_network(algorithm: DistributedAlgorithm, graph: Any, globals_: Optional[Dict[str, Any]]) -> Network:
@@ -134,6 +211,9 @@ def sweep(
     grid=None,
     *,
     workers: int = 0,
+    backend: Optional[str] = None,
+    hosts=None,
+    memory_budget: Optional[int] = None,
     out: Optional[str] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
@@ -144,13 +224,20 @@ def sweep(
     retries: int = 1,
     max_restarts: int = 2,
     progress=None,
-):
+) -> SweepReport:
     """Run a grid of experiment cells through the parallel engine.
 
     ``grid`` is a :class:`repro.engine.GridSpec`, a mapping accepted by
     :meth:`GridSpec.from_mapping`, or ``None`` for the paper's E1 grid.
-    Returns a :class:`repro.engine.SweepResult`; see :mod:`repro.engine`
-    for sharding, caching and resume semantics.
+    Returns a frozen :class:`SweepReport`; see :mod:`repro.engine` for
+    sharding, caching and resume semantics.
+
+    ``backend`` selects the :class:`~repro.engine.executors.SweepExecutor`
+    that runs the shards — ``"inline"``, ``"process"`` or ``"socket"``
+    (``None`` keeps the workers-based default: ``workers >= 2`` spawns the
+    process pool, anything less runs inline).  ``hosts`` and
+    ``memory_budget`` configure the socket backend's shard servers and
+    per-request ball-volume budget.
 
     ``faults`` replays a deterministic failure scenario (a
     :class:`repro.engine.FaultPlan`, its dict form, or a path to its JSON
@@ -164,9 +251,12 @@ def sweep(
 
     if grid is not None and not isinstance(grid, GridSpec):
         grid = GridSpec.from_mapping(grid)
-    return run_sweep(
+    result = run_sweep(
         grid,
         workers=workers,
+        backend=backend,
+        hosts=hosts,
+        memory_budget=memory_budget,
         out_dir=out,
         cache_dir=cache_dir,
         use_cache=use_cache,
@@ -178,16 +268,30 @@ def sweep(
         max_restarts=max_restarts,
         progress=progress,
     )
+    return SweepReport.from_engine(result)
 
 
 def bench(
-    suite: str = "smoke",
+    suite="smoke",
     *,
     repeats: int = 3,
     warmup: int = 1,
     commit: Optional[str] = None,
-):
-    """Run the named scaling-experiment suite; returns its trajectory rows.
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    hosts=None,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+) -> BenchReport:
+    """Run the named scaling-experiment suite; returns a :class:`BenchReport`.
+
+    The execution-control options (``workers``/``backend``/``cell_timeout``/
+    ``retries``/``max_restarts``) are validated through
+    :class:`repro.engine.executors.ExecutionOptions` and forwarded to every
+    sweep the suite's runners launch (worker-scaling keeps sweeping its own
+    worker counts); left at ``None`` they change nothing, so default bench
+    rows stay comparable across the committed trajectory.
 
     Rows are schema-versioned dicts (see
     :mod:`repro.obs.bench.trajectory`) and are **not** persisted here —
@@ -197,4 +301,24 @@ def bench(
     """
     from .obs.bench import run_suite
 
-    return run_suite(suite, repeats=repeats, warmup=warmup, commit=commit)
+    overrides = {
+        "workers": workers,
+        "backend": backend,
+        "hosts": hosts,
+        "cell_timeout": cell_timeout,
+        "retries": retries,
+        "max_restarts": max_restarts,
+    }
+    engine_opts = {key: value for key, value in overrides.items() if value is not None}
+    if engine_opts:
+        from .engine.executors import ExecutionOptions, parse_hosts
+
+        checked = dict(engine_opts)
+        if "hosts" in checked:
+            checked["hosts"] = tuple(parse_hosts(checked["hosts"]))
+        ExecutionOptions(**{"workers": 1, **checked})  # shared validation
+    rows = run_suite(
+        suite, repeats=repeats, warmup=warmup, commit=commit, engine_opts=engine_opts
+    )
+    name = suite if isinstance(suite, str) else suite.name
+    return BenchReport(suite=name, rows=tuple(rows))

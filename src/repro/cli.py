@@ -26,14 +26,21 @@ Subcommands (``python -m repro <subcommand> --help`` for details):
                   ``BENCH_TRAJECTORY.jsonl`` history, gate regressions
                   against it (``--check``), or render the trend dashboard
                   (``--report``);
+* ``serve``     — run one socket-backend shard server; point a sweep at it
+                  (possibly on another host) with
+                  ``sweep --backend socket --hosts HOST:PORT,...``;
 * ``verify``    — test a claimed round count through the ``repro.api``
                   facade, optionally stacking a Section 5 chain; or, with
                   ``--store DIR``, replay a finished sweep store's rows
                   against fresh serial computation.
 
-Subcommands share one flag vocabulary — ``--json`` (bare prints JSON to
-stdout, with a PATH writes the file), ``--delta``, ``--chain``, ``--out`` —
-wired through :func:`add_common_options`.
+Subcommands share one flag vocabulary wired through
+:func:`add_common_options` — ``--json`` (bare prints JSON to stdout, with a
+PATH writes the file), ``--delta``, ``--chain``, ``--out``, and (for the
+engine-driving subcommands ``sweep`` and ``bench``) the execution-control
+group ``--workers`` / ``--backend`` / ``--hosts`` / ``--cell-timeout`` /
+``--retries`` / ``--max-restarts``, validated in one place by
+:class:`repro.engine.executors.ExecutionOptions`.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from .core.adversary import run_adversary
 from .core.canonical_order import reduce_word, tree_sort_key
 from .core.theorem import refute
 from .core.witness import AlgorithmFailure
+from .engine.executors import BACKENDS
 from .engine.grid import ALGORITHMS
 from .graphs.families import (
     caterpillar,
@@ -74,6 +82,7 @@ def add_common_options(
     delta: Optional[int] = None,
     chain: Optional[str] = None,
     out: bool = False,
+    execution: bool = False,
 ) -> argparse.ArgumentParser:
     """Attach the shared flag vocabulary to a subcommand parser.
 
@@ -84,6 +93,13 @@ def add_common_options(
     * ``--delta N`` — maximum degree (default per subcommand);
     * ``--chain {ec,po,oi,id}`` — how deep a simulation chain to stack;
     * ``--out DIR`` — directory for result artifacts.
+
+    ``execution=True`` adds the execution-control group shared by the
+    engine-driving subcommands (``sweep``, ``bench``): ``--workers``,
+    ``--backend``, ``--hosts``, ``--cell-timeout``, ``--retries`` and
+    ``--max-restarts``, validated together by
+    :func:`_execution_options` /
+    :class:`repro.engine.executors.ExecutionOptions`.
     """
     if json_flag:
         parser.add_argument(
@@ -111,7 +127,82 @@ def add_common_options(
         parser.add_argument(
             "--out", metavar="DIR", default=None, help="directory for result artifacts"
         )
+    if execution:
+        group = parser.add_argument_group(
+            "execution control",
+            "one vocabulary for every engine-driving subcommand; validated "
+            "together (workers >= 1, positive timeouts, known backend)",
+        )
+        group.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="shard fan-out for parallel backends (default 1: the serial "
+            "inline baseline; >= 2 selects the process pool unless "
+            "--backend says otherwise)",
+        )
+        group.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default=None,
+            help="sweep executor backend: inline (in-process, zero spawn), "
+            "process (spawn pool), socket (shard servers over TCP; see "
+            "the serve subcommand). Default: picked from --workers",
+        )
+        group.add_argument(
+            "--hosts",
+            default=None,
+            metavar="HOST:PORT,...",
+            help="socket backend only: external shard servers to dispatch "
+            "to (default: self-hosted loopback servers)",
+        )
+        group.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-cell watchdog: a cell running longer is abandoned and "
+            "retried (default: no timeout)",
+        )
+        group.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            metavar="N",
+            help="extra attempts per cell after a timeout or error (default 1)",
+        )
+        group.add_argument(
+            "--max-restarts",
+            type=int,
+            default=2,
+            metavar="N",
+            help="rounds of dead-worker recovery before giving up (default 2)",
+        )
     return parser
+
+
+def _execution_options(args):
+    """Validate the shared execution-control flags into one typed object.
+
+    All constraints live in :class:`repro.engine.executors.ExecutionOptions`
+    so ``sweep`` and ``bench`` reject bad values identically (``--workers
+    0``, negative timeouts, ``--hosts`` without ``--backend socket``, ...).
+    """
+    from .engine.executors import ExecutionOptions, parse_hosts
+
+    try:
+        hosts = tuple(parse_hosts(args.hosts)) if args.hosts else ()
+        return ExecutionOptions(
+            workers=args.workers,
+            backend=args.backend,
+            hosts=hosts,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            max_restarts=args.max_restarts,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro {args.command}: {error}") from None
 
 
 def _emit_json(args, payload: str) -> None:
@@ -286,13 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--seeds", default=None, help="comma-separated seeds (default: 0)"
     )
-    add_common_options(sweep, json_flag=True, chain="ec", out=True)
-    sweep.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="worker processes (0: run in-process; default 0)",
-    )
+    add_common_options(sweep, json_flag=True, chain="ec", out=True, execution=True)
     sweep.add_argument(
         "--cache-dir",
         default=None,
@@ -327,28 +412,6 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN.json",
         help="replay a deterministic fault plan during the sweep "
         "(see docs/fault_injection.md for the schema)",
-    )
-    sweep.add_argument(
-        "--cell-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-cell watchdog: a cell running longer is abandoned and "
-        "retried (default: no timeout)",
-    )
-    sweep.add_argument(
-        "--retries",
-        type=int,
-        default=1,
-        metavar="N",
-        help="extra attempts per cell after a timeout or error (default 1)",
-    )
-    sweep.add_argument(
-        "--max-restarts",
-        type=int,
-        default=2,
-        metavar="N",
-        help="rounds of dead-worker recovery before giving up (default 2)",
     )
     sweep.add_argument(
         "--progress",
@@ -422,7 +485,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rows per experiment in the --report dashboard (default 8)",
     )
-    add_common_options(bench, json_flag=True)
+    add_common_options(bench, json_flag=True, execution=True)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one socket-backend shard server (pair with "
+        "sweep --backend socket --hosts HOST:PORT,...)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; 0.0.0.0 to serve other "
+        "hosts)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0: an OS-assigned free port, printed "
+        "on startup)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N shard requests (default: run until "
+        "interrupted)",
+    )
 
     ver = sub.add_parser(
         "verify",
@@ -756,10 +846,32 @@ def _parse_ints(spec: str, flag: str) -> tuple:
         raise SystemExit(f"{flag}: bad value {spec!r} (want N,N,... or A..B)") from None
 
 
+def _cmd_serve(args) -> int:
+    """Run one socket-backend shard server until interrupted."""
+    from .engine.executors import ShardServer
+
+    server = ShardServer(host=args.host, port=args.port)
+    host, port = server.address
+    print(f"shard server listening on {host}:{port}", flush=True)
+    print(
+        f"dispatch to it with: repro sweep --backend socket --hosts {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever(max_requests=args.max_requests)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(f"shard server stopped after {server.requests_served} request(s)")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     import json as json_
 
-    from .engine import GridSpec, e1_grid, run_sweep, smoke_grid
+    from .api import sweep as api_sweep
+    from .engine import GridSpec, e1_grid, smoke_grid
 
     if args.smoke:
         grid = smoke_grid()
@@ -775,6 +887,7 @@ def _cmd_sweep(args) -> int:
         )
     from .engine import CellExecutionError
 
+    options = _execution_options(args)
     progress = None
     progress_path = None
     if args.progress is not None:
@@ -787,18 +900,15 @@ def _cmd_sweep(args) -> int:
         progress = ProgressEmitter(path=progress_path, stream=sys.stderr)
 
     try:
-        result = run_sweep(
+        result = api_sweep(
             grid,
-            workers=args.workers,
-            out_dir=args.out,
+            out=args.out,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             resume=args.resume,
             faults=args.faults,
-            cell_timeout=args.cell_timeout,
-            retries=args.retries,
-            max_restarts=args.max_restarts,
             progress=progress,
+            **options.engine_kwargs(),
         )
     except ValueError as error:
         raise SystemExit(f"repro sweep: {error}") from None
@@ -807,7 +917,7 @@ def _cmd_sweep(args) -> int:
         # "failed" list when --out was given
         print(f"repro sweep: {error}", file=sys.stderr)
         return 1
-    print(result.summary())
+    print(result.summary)
     if args.out:
         print(f"results under {args.out} (summary.json, trace.json, shard-*.jsonl)")
     if progress_path is not None:
@@ -816,10 +926,11 @@ def _cmd_sweep(args) -> int:
         payload = {
             "grid": grid.as_dict(),
             "workers": result.workers,
+            "backend": result.backend,
             "resumed": result.resumed,
             "cache": result.cache.as_dict(),
             "recovery": result.recovery,
-            "rows": result.rows,
+            "rows": list(result.rows),
         }
         _emit_json(args, json_.dumps(payload, sort_keys=True))
     refuted = sum(1 for row in result.rows if row["status"] == "refuted")
@@ -849,6 +960,7 @@ def _cmd_sweep(args) -> int:
 def _cmd_bench(args) -> int:
     import json as json_
 
+    from .api import bench as api_bench
     from .obs import bench
 
     if args.report:
@@ -859,13 +971,24 @@ def _cmd_bench(args) -> int:
             print(bench.render_trajectory(trajectory_rows, last=args.last))
         return 0
 
+    options = _execution_options(args)
     try:
         suite = bench.suite_named(args.suite)
     except ValueError as error:
         raise SystemExit(f"repro bench: {error}") from None
-    rows = bench.run_suite(
-        suite, repeats=args.repeats, warmup=args.warmup, commit=args.commit
+    report = api_bench(
+        suite,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        commit=args.commit,
+        workers=options.workers,
+        backend=options.backend,
+        hosts=list(options.hosts) or None,
+        cell_timeout=options.cell_timeout,
+        retries=options.retries,
+        max_restarts=options.max_restarts,
     )
+    rows = list(report.rows)
 
     if args.check:
         trajectory_rows = bench.read_rows(args.trajectory)
@@ -1010,6 +1133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "trace": _cmd_trace,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
         "verify": _cmd_verify,
     }

@@ -11,11 +11,15 @@ process-parallel sweep:
   installed into :mod:`repro.graphs.isomorphism` for the duration of a run;
 * :mod:`repro.engine.store` — resumable JSONL result shards plus the merged
   ``summary.json``;
-* :mod:`repro.engine.pool` — the ``multiprocessing`` pool that shards cells
-  across workers, each under its own :mod:`repro.obs` tracer, and merges
-  worker traces into one document; survives dead workers, hung cells and
-  transient failures via bounded retries, per-cell watchdogs and shard
-  reassignment (see ``docs/fault_injection.md``);
+* :mod:`repro.engine.pool` — the backend-agnostic sweep driver: shards
+  cells, merges per-shard traces into one document, and survives dead
+  workers, hung cells and transient failures via bounded retries, per-cell
+  watchdogs and shard reassignment (see ``docs/fault_injection.md``);
+* :mod:`repro.engine.executors` — the pluggable
+  :class:`~repro.engine.executors.SweepExecutor` backends the driver
+  dispatches shards to: ``inline`` (in-process asyncio, zero spawn),
+  ``process`` (the spawn-context pool) and ``socket`` (multi-host shard
+  servers over JSON framing with per-worker memory budgeting);
 * :mod:`repro.engine.faults` — a deterministic fault-injection layer (seeded
   :class:`~repro.engine.faults.FaultPlan`) that replays worker kills, shard
   truncation, cache corruption, stalls and transient I/O errors so every
@@ -26,6 +30,18 @@ Entry points: :func:`run_sweep` (or ``python -m repro sweep`` /
 """
 
 from .cache import CacheStats, CanonicalFormCache, graph_digest
+from .executors import (
+    BACKENDS,
+    ExecutionOptions,
+    ExecutorCapabilities,
+    ExecutorContext,
+    InlineExecutor,
+    ProcessExecutor,
+    ShardServer,
+    SocketExecutor,
+    SweepExecutor,
+    as_executor,
+)
 from .faults import Fault, FaultInjector, FaultPlan, InjectedWorkerError, use_faults
 from .grid import ALGORITHMS, CHAINS, Cell, GridSpec, e1_grid, expand, run_cell, smoke_grid
 from .pool import CellExecutionError, CellTimeout, SweepResult, run_sweep, verify_store
@@ -33,19 +49,29 @@ from .store import ResultStore
 
 __all__ = [
     "ALGORITHMS",
+    "BACKENDS",
     "CHAINS",
     "CacheStats",
     "CanonicalFormCache",
     "Cell",
     "CellExecutionError",
     "CellTimeout",
+    "ExecutionOptions",
+    "ExecutorCapabilities",
+    "ExecutorContext",
     "Fault",
     "FaultInjector",
     "FaultPlan",
     "GridSpec",
     "InjectedWorkerError",
+    "InlineExecutor",
+    "ProcessExecutor",
     "ResultStore",
+    "ShardServer",
+    "SocketExecutor",
+    "SweepExecutor",
     "SweepResult",
+    "as_executor",
     "e1_grid",
     "expand",
     "graph_digest",

@@ -1,0 +1,267 @@
+"""The ``SweepExecutor`` protocol: where shards run is an interface.
+
+:func:`repro.engine.run_sweep` owns everything a sweep *means* — sharding,
+the :class:`~repro.engine.store.ResultStore`, progress emission, resume and
+dedup bookkeeping, and the dead-worker recovery policy.  An executor owns
+exactly one thing: getting a shard payload executed somewhere and the
+outcome back.  Three backends ship (``docs/engine.md`` documents how to
+write a fourth):
+
+* :class:`~repro.engine.executors.inline.InlineExecutor` — in-process on an
+  asyncio loop, zero spawn; the default for smoke grids and unit tests;
+* :class:`~repro.engine.executors.process.ProcessExecutor` — the original
+  spawn-context process pool, now a thin adapter;
+* :class:`~repro.engine.executors.sockets.SocketExecutor` — a stdlib
+  multi-host backend speaking JSON over sockets, with per-worker memory
+  budgeting.
+
+The conformance contract (``tests/test_executors.py``) is the same for all
+of them: rows byte-identical to the serial baseline, and every fault kind
+the backend's :class:`ExecutorCapabilities` declares must be survived with
+byte-identical rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..faults import FAULT_KINDS
+from .shard import run_shard
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionOptions",
+    "ExecutorCapabilities",
+    "ExecutorContext",
+    "SweepExecutor",
+    "as_executor",
+]
+
+#: one shard's result: ``(shard_index, rows, trace_document, cache_stats)``
+ShardOutcome = Tuple[int, List[dict], dict, dict]
+#: a shard that did not finish: ``(payload, exception)``
+ShardFailure = Tuple[dict, BaseException]
+
+
+@dataclass(frozen=True)
+class ExecutorCapabilities:
+    """What a backend can do; the driver adapts its policy to these flags.
+
+    Attributes
+    ----------
+    parallel:
+        The backend runs a round's shards concurrently.  ``False`` makes
+        the driver hand it one shard at a time (the serial baseline path).
+    separate_process:
+        Shards execute in their own OS process.  Only then may the fault
+        injector arm the *real* ``SIGKILL`` trigger for ``kill-worker``
+        faults; in-process backends degrade the kill to a raised
+        :class:`~repro.engine.faults.InjectedWorkerError`, which exercises
+        the same coordinator recovery path without shooting the test
+        process.
+    supports_on_row:
+        The per-row progress callback reaches the driver live.  Backends
+        without it are observed by the store-polling progress monitor
+        instead; rows are byte-identical either way.
+    fault_kinds:
+        The fault classes this backend declares survivable — its
+        conformance contract.  The mandatory trigger points
+        (``on_worker_cell``, ``on_cell_body``, ``on_store_append``,
+        ``on_cache_write``/``check_cache_io``) live in the shared shard
+        runtime, so every backend inherits them; only the kill *mechanism*
+        (signal vs raise) is backend-specific.
+    """
+
+    parallel: bool
+    separate_process: bool
+    supports_on_row: bool
+    fault_kinds: frozenset = frozenset(FAULT_KINDS)
+
+
+class SweepExecutor:
+    """Base class / protocol every sweep backend implements.
+
+    The driver's calls, in order:
+
+    1. :meth:`start` once, before the first round;
+    2. :meth:`run_round` once per (recovery) round with that round's shard
+       payloads — the default implementation submits them sequentially
+       through :meth:`submit_shard`, so a minimal backend only overrides
+       that one primitive;
+    3. :meth:`is_worker_loss` to triage each failure (worker death, which
+       recovery reassigns, vs a named cell error, which aborts);
+    4. :meth:`close` exactly once, however the sweep ends.
+
+    ``run_round`` must never raise for a shard failure: it returns
+    ``(outcomes, failures)`` and lets the driver apply the recovery policy.
+    """
+
+    #: registry name; also reported in ``SweepResult.backend``
+    name: str = "base"
+    #: shard fan-out of a parallel round (1 for serial backends)
+    width: int = 1
+    capabilities = ExecutorCapabilities(
+        parallel=False, separate_process=False, supports_on_row=True
+    )
+
+    def start(self, ctx: "ExecutorContext") -> None:
+        """Lifecycle hook: acquire backend resources before the first round."""
+
+    def submit_shard(self, payload: dict, ctx: "ExecutorContext") -> ShardOutcome:
+        """Execute one shard payload and return its outcome.
+
+        The base implementation runs the shared shard runtime in-process,
+        forwarding the progress callback when the capabilities allow it.
+        """
+        on_row = ctx.on_row if self.capabilities.supports_on_row else None
+        return run_shard(payload, on_row)
+
+    def run_round(
+        self, payloads: List[dict], ctx: "ExecutorContext"
+    ) -> Tuple[List[ShardOutcome], List[ShardFailure]]:
+        """Execute one round of shards; never raises on shard failure."""
+        outcomes: List[ShardOutcome] = []
+        failures: List[ShardFailure] = []
+        for payload in payloads:
+            try:
+                outcomes.append(self.submit_shard(payload, ctx))
+            except BaseException as exc:  # noqa: BLE001 - triaged by the driver
+                failures.append((payload, exc))
+        return outcomes, failures
+
+    def is_worker_loss(self, exc: BaseException) -> bool:
+        """Whether a shard failure means the worker itself died."""
+        from ..faults import InjectedWorkerError
+
+        return isinstance(exc, InjectedWorkerError)
+
+    def close(self) -> None:
+        """Lifecycle hook: release backend resources; idempotent."""
+
+
+@dataclass(frozen=True)
+class ExecutorContext:
+    """Per-round driver context handed to executor calls.
+
+    ``on_row`` is the sweep's per-row progress callback (``None`` on rounds
+    observed by the polling monitor); ``workers`` is the requested worker
+    count, which backends may use to size their pools.
+    """
+
+    workers: int = 0
+    on_row: Optional[Callable[[dict, object], None]] = None
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """The validated execution-control vocabulary shared by sweep and bench.
+
+    One object backs both CLI subcommands (``--workers``, ``--backend``,
+    ``--hosts``, ``--cell-timeout``, ``--retries``, ``--max-restarts``) and
+    the :mod:`repro.api` facade, so the constraints are checked in exactly
+    one place: at least one worker, non-negative timeouts and budgets, a
+    known backend name, and ``hosts`` only where it means something.
+    """
+
+    workers: int = 1
+    backend: Optional[str] = None
+    hosts: Tuple[Tuple[str, int], ...] = ()
+    cell_timeout: Optional[float] = None
+    retries: int = 1
+    max_restarts: int = 2
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {self.workers} (serial runs are "
+                f"workers=1 on the inline backend)"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from "
+                f"{', '.join(sorted(BACKENDS))}"
+            )
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError(f"cell_timeout must be positive, got {self.cell_timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.hosts and self.backend != "socket":
+            raise ValueError(
+                f"hosts only apply to the socket backend, not {self.backend!r}"
+            )
+
+    def engine_kwargs(self) -> dict:
+        """The ``run_sweep`` keyword arguments this option set spells."""
+        kwargs = {
+            "workers": self.workers,
+            "backend": self.backend,
+            "cell_timeout": self.cell_timeout,
+            "retries": self.retries,
+            "max_restarts": self.max_restarts,
+        }
+        if self.hosts:
+            kwargs["hosts"] = list(self.hosts)
+        return kwargs
+
+
+def _make_inline(workers: int, hosts, memory_budget) -> SweepExecutor:
+    from .inline import InlineExecutor
+
+    return InlineExecutor()
+
+
+def _make_process(workers: int, hosts, memory_budget) -> SweepExecutor:
+    from .process import ProcessExecutor
+
+    return ProcessExecutor(workers=workers)
+
+
+def _make_socket(workers: int, hosts, memory_budget) -> SweepExecutor:
+    from .sockets import SocketExecutor
+
+    if memory_budget is not None:
+        return SocketExecutor(workers=workers, hosts=hosts, memory_budget=memory_budget)
+    return SocketExecutor(workers=workers, hosts=hosts)
+
+
+#: backend name -> factory; the CLI's ``--backend`` choices come from here
+BACKENDS = {
+    "inline": _make_inline,
+    "process": _make_process,
+    "socket": _make_socket,
+}
+
+
+def as_executor(
+    backend,
+    *,
+    workers: int = 0,
+    hosts=None,
+    memory_budget=None,
+) -> SweepExecutor:
+    """Resolve ``backend`` (name, instance or ``None``) to an executor.
+
+    ``None`` keeps the historical behaviour: ``workers >= 2`` selects the
+    process pool, anything less runs inline — so ``run_sweep(workers=0)``
+    is still the serial baseline and ``run_sweep(workers=4)`` still spawns.
+    """
+    if isinstance(backend, SweepExecutor):
+        return backend
+    if backend is None:
+        backend = "process" if workers >= 2 else "inline"
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {', '.join(sorted(BACKENDS))}"
+        ) from None
+    if hosts is not None and backend != "socket":
+        raise ValueError(f"hosts only apply to the socket backend, not {backend!r}")
+    if memory_budget is not None and backend != "socket":
+        raise ValueError(
+            f"memory_budget only applies to the socket backend, not {backend!r}"
+        )
+    return factory(workers, hosts, memory_budget)

@@ -1,22 +1,24 @@
-"""Process-parallel sweep execution with caching, retries, and recovery.
+"""The backend-agnostic sweep driver: sharding, persistence, recovery.
 
-:func:`run_sweep` shards a grid's pending cells round-robin across a
-process pool (spawn context: workers import the package fresh, no inherited
-interpreter state).  Each worker shard runs under
+:func:`run_sweep` owns everything a sweep *means* — expanding the grid,
+splitting pending cells round-robin into shards, the
+:class:`~repro.engine.store.ResultStore`, progress emission, resume/dedup
+bookkeeping, and the dead-worker recovery policy.  *Where* a shard runs is
+delegated to a :class:`~repro.engine.executors.SweepExecutor` backend
+(``backend=``): ``inline`` executes in-process on an asyncio loop (the
+serial baseline), ``process`` maps shards over a spawn-context pool, and
+``socket`` ships them to shard servers over JSON framing — see
+:mod:`repro.engine.executors` and ``docs/engine.md``.
 
-* its own :class:`repro.obs.Tracer` — one ``engine.shard`` span wrapping an
-  ``engine.cell`` span per grid point, merged afterwards into a single
-  trace document (:func:`repro.obs.export.merge_trace_documents`);
-* an installed :class:`repro.engine.cache.CanonicalFormCache`, so every
-  witness-ball canonicalisation inside the adversary is memoized; pointing
-  workers at a shared on-disk store (``cache_dir`` / ``$REPRO_CACHE_DIR``)
-  lets shards reuse each other's forms;
-* a :class:`repro.engine.store.ResultStore` shard file, appended row by
-  row, which is what makes a killed sweep resumable.
-
+Every backend funnels through the same shard runtime
+(:mod:`repro.engine.executors.shard`), so the invariants are uniform: each
+shard runs under its own :class:`repro.obs.Tracer` and an installed
+:class:`~repro.engine.cache.CanonicalFormCache`, appends rows to its store
+shard as it goes, and applies the per-cell watchdog/retry discipline.
 Rows carry no wall-clock data and are merged in cell-key order, so a sweep
-result is byte-for-byte identical however many workers produced it — and,
-by the same construction, however many faults it survived on the way.
+result is byte-for-byte identical whichever backend (and however many
+workers) produced it — and, by the same construction, however many faults
+it survived on the way.
 
 Fault tolerance
 ---------------
@@ -26,36 +28,42 @@ The engine assumes workers can die, cells can hang, and disks can lie:
   a bounded, deterministically backed-off retry loop (``retries``); a cell
   whose error survives every retry surfaces as a :class:`CellExecutionError`
   that **names the failing cell** instead of a bare pool teardown;
-* a shard whose worker dies (SIGKILL, crash) or raises is detected by the
-  coordinator, which reads back whatever rows the dead worker had already
-  flushed and **reassigns only the missing cells** to a fresh round of
-  workers (``max_restarts`` rounds, ``engine.recovery`` spans);
+* a shard whose worker dies (SIGKILL, crash, vanished host) is detected by
+  the driver via the backend's ``is_worker_loss`` triage, which reads back
+  whatever rows the dead worker had already flushed and **reassigns only
+  the missing cells** to a fresh round (``max_restarts`` rounds,
+  ``engine.recovery`` spans); the last restart round always runs inline —
+  recovery must not be starved by an environment that keeps killing
+  whatever the backend spawns;
 * cache and store damage degrades gracefully (see their modules) and is
   exercised end to end by :mod:`repro.engine.faults` — pass ``faults=``
   (a :class:`~repro.engine.faults.FaultPlan`) to replay a failure scenario
   deterministically.
 
-``time.sleep`` here implements only the retry backoff and never feeds any
-model output; the module is a sanctioned clock user
-(``LintConfig.clock_modules``) for exactly that line.
+The progress monitor's polling thread is why this module remains a
+sanctioned worker module (``LintConfig.worker_modules``).
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import threading
-import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-from ..graphs.isomorphism import use_canonical_cache
-from ..obs.export import merge_trace_documents, trace_document
+from ..obs.export import merge_trace_documents
 from ..obs.progress import NULL_PROGRESS, NullProgressEmitter
-from ..obs.tracer import Tracer, current_tracer, use_tracer
-from .cache import CacheStats, CanonicalFormCache
-from .faults import FaultInjector, FaultPlan, InjectedWorkerError, as_plan, use_faults
+from ..obs.tracer import current_tracer
+from .cache import CacheStats
+from .executors.base import ExecutorContext, SweepExecutor, as_executor
+from .executors.shard import (
+    CellExecutionError,
+    CellTimeout,
+    shard_cells,
+    shard_payloads,
+)
+from .faults import as_plan
 from .grid import Cell, GridSpec, expand, run_cell
 from .store import ResultStore
 
@@ -66,59 +74,6 @@ __all__ = [
     "run_sweep",
     "verify_store",
 ]
-
-#: deterministic retry backoff: attempt k sleeps k * _BACKOFF_BASE seconds
-_BACKOFF_BASE = 0.02
-
-
-class CellExecutionError(RuntimeError):
-    """A cell failed after every retry; names the failing grid point."""
-
-    def __init__(self, key: str, algorithm: str = "?", delta: int = -1,
-                 chain: str = "?", seed: int = -1, cause: str = ""):
-        self.key = key
-        self.algorithm = algorithm
-        self.delta = delta
-        self.chain = chain
-        self.seed = seed
-        self.cause = cause
-        super().__init__(
-            f"cell {key} (algorithm={algorithm}, delta={delta}, chain={chain}, "
-            f"seed={seed}) failed: {cause}"
-        )
-
-    def __reduce__(self):  # exceptions cross the process boundary pickled
-        return (type(self), (self.key, self.algorithm, self.delta, self.chain, self.seed, self.cause))
-
-    @classmethod
-    def for_cell(cls, cell: Cell, cause: BaseException) -> "CellExecutionError":
-        return cls(
-            cell.key, cell.algorithm, cell.delta, cell.chain, cell.seed,
-            f"{type(cause).__name__}: {cause}",
-        )
-
-    def as_record(self) -> dict:
-        """The JSON-ready account recorded in ``summary.json``'s ``failed``."""
-        return {
-            "key": self.key,
-            "algorithm": self.algorithm,
-            "delta": self.delta,
-            "chain": self.chain,
-            "seed": self.seed,
-            "error": self.cause,
-        }
-
-
-class CellTimeout(RuntimeError):
-    """The per-cell watchdog fired before the cell finished."""
-
-    def __init__(self, key: str, timeout: float):
-        self.key = key
-        self.timeout = timeout
-        super().__init__(f"cell {key} exceeded its {timeout:g}s watchdog")
-
-    def __reduce__(self):
-        return (type(self), (self.key, self.timeout))
 
 
 @dataclass
@@ -134,6 +89,8 @@ class SweepResult:
     out_dir: Optional[str] = None
     #: restart/reassignment account: zeros on a fault-free run
     recovery: Dict[str, int] = field(default_factory=dict)
+    #: registry name of the executor that ran the parallel rounds
+    backend: str = "inline"
 
     @property
     def cache_hit_rate(self) -> float:
@@ -144,7 +101,8 @@ class SweepResult:
         fresh = len(self.rows) - self.resumed
         line = (
             f"{len(self.rows)} cells ({fresh} computed, {self.resumed} resumed) "
-            f"on {self.workers} worker(s); canonical-form cache hit-rate "
+            f"on {self.workers} worker(s) via the {self.backend} backend; "
+            f"canonical-form cache hit-rate "
             f"{self.cache.hit_rate:.0%} ({self.cache.hits}/{self.cache.lookups})"
         )
         restarts = self.recovery.get("restarts", 0)
@@ -157,169 +115,13 @@ class SweepResult:
         return line
 
 
-def _shard_cells(cells: List[Cell], shards: int) -> List[List[Cell]]:
-    """Deterministic round-robin split; empty shards are dropped."""
-    buckets: List[List[Cell]] = [[] for _ in range(max(shards, 1))]
-    for index, cell in enumerate(cells):
-        buckets[index % len(buckets)].append(cell)
-    return [bucket for bucket in buckets if bucket]
-
-
-def _execute_cell(
-    cell: Cell,
-    tracer: Tracer,
-    injector: Optional[FaultInjector],
-    cell_timeout: Optional[float],
-    retries: int,
-) -> dict:
-    """One cell under the watchdog and the bounded retry loop.
-
-    Raises :class:`CellExecutionError` when the last attempt still fails;
-    :class:`InjectedWorkerError` passes straight through — a simulated
-    worker crash is the *coordinator's* problem, not a per-cell retry.
-    """
-    last: Optional[BaseException] = None
-    for attempt in range(retries + 1):
-        if attempt:
-            tracer.metrics.counter("engine.cell_retry").inc()
-            time.sleep(_BACKOFF_BASE * attempt)  # deterministic backoff schedule
-        try:
-            return _run_cell_watchdogged(cell, tracer, injector, attempt, cell_timeout)
-        except InjectedWorkerError:
-            raise
-        except CellTimeout as exc:
-            tracer.metrics.counter("engine.cell_timeout").inc()
-            last = exc
-        except Exception as exc:  # noqa: BLE001 - every failure is named below
-            last = exc
-    raise CellExecutionError.for_cell(cell, last if last is not None else RuntimeError("unknown"))
-
-
-def _run_cell_watchdogged(
-    cell: Cell,
-    tracer: Tracer,
-    injector: Optional[FaultInjector],
-    attempt: int,
-    cell_timeout: Optional[float],
-) -> dict:
-    """Run one cell, bounded by ``cell_timeout`` seconds when set.
-
-    The timed path computes on a worker thread against a private tracer;
-    on success the finished spans are grafted back under the shard span, on
-    timeout the abandoned attempt's spans are discarded with it.  Without a
-    timeout the cell runs inline — the exact pre-fault-hardening hot path.
-    """
-
-    def body(body_tracer: Tracer) -> dict:
-        if injector is not None:
-            injector.on_cell_body(cell.key, attempt)
-        return run_cell(cell, tracer=body_tracer)
-
-    if cell_timeout is None:
-        return body(tracer)
-
-    sub = Tracer()
-    outcome: List[dict] = []
-    failure: List[BaseException] = []
-
-    def target() -> None:
-        try:
-            outcome.append(body(sub))
-        except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
-            failure.append(exc)
-
-    watchdogged = threading.Thread(target=target, daemon=True, name=f"cell-{cell.key}")
-    watchdogged.start()
-    watchdogged.join(cell_timeout)
-    if watchdogged.is_alive():
-        raise CellTimeout(cell.key, cell_timeout)
-    tracer.graft(sub.roots)
-    if failure:
-        raise failure[0]
-    return outcome[0]
-
-
-def _run_shard(payload: dict, on_row=None) -> Tuple[int, List[dict], dict, dict]:
-    """Execute one shard of cells; the unit of work a pool worker receives.
-
-    Returns ``(shard_index, rows, trace_document, cache_stats)``.  Must stay
-    a module-level function: the spawn context pickles it by reference.
-    ``on_row`` is an in-process-only hook — serial rounds pass the sweep's
-    progress callback; pool workers always run with the default ``None``
-    (a callback could not cross the spawn boundary anyway).
-    """
-    shard_index = payload["shard"]
-    cells = [Cell.from_dict(d) for d in payload["cells"]]
-    store = ResultStore(payload["out_dir"]) if payload["out_dir"] else None
-    plan = FaultPlan.from_dict(payload["plan"]) if payload.get("plan") else None
-    injector = (
-        FaultInjector(plan, shard=shard_index, in_worker=payload.get("in_worker", False))
-        if plan is not None
-        else None
-    )
-    tracer = Tracer()
-    cache = CanonicalFormCache(directory=payload["cache_dir"])
-    rows: List[dict] = []
-    with use_tracer(tracer), use_faults(injector):
-        guard = use_canonical_cache(cache) if payload["use_cache"] else nullcontext()
-        with guard:
-            with tracer.span(
-                "engine.shard",
-                shard=shard_index,
-                cells=len(cells),
-                round=payload.get("round", 0),
-            ) as span:
-                for cell in cells:
-                    if injector is not None:
-                        injector.on_worker_cell(cell.key, payload.get("round", 0))
-                    row = _execute_cell(
-                        cell, tracer, injector, payload.get("cell_timeout"), payload.get("retries", 1)
-                    )
-                    rows.append(row)
-                    if store is not None:
-                        store.append(shard_index, row)
-                    if on_row is not None:
-                        on_row(row, cache.stats)
-                span.set(
-                    cache_hits=cache.stats.hits,
-                    cache_misses=cache.stats.misses,
-                )
-    doc = trace_document(tracer, command=f"sweep shard {shard_index}")
-    return shard_index, rows, doc, cache.stats.as_dict()
-
-
-def _shard_payloads(
-    shards: List[List[Cell]],
-    store: Optional[ResultStore],
-    cache_dir,
-    use_cache: bool,
-    plan: Optional[FaultPlan],
-    round_: int,
-    cell_timeout: Optional[float],
-    retries: int,
-    in_worker: bool,
-) -> List[dict]:
-    return [
-        {
-            "shard": index,
-            "cells": [cell.as_dict() for cell in bucket],
-            "out_dir": str(store.directory) if store else None,
-            "cache_dir": str(cache_dir) if cache_dir else None,
-            "use_cache": use_cache,
-            "plan": plan.as_dict() if plan is not None else None,
-            "round": round_,
-            "cell_timeout": cell_timeout,
-            "retries": retries,
-            "in_worker": in_worker,
-        }
-        for index, bucket in enumerate(shards)
-    ]
-
-
 def run_sweep(
     grid: Union[GridSpec, Mapping, None] = None,
     *,
     workers: int = 0,
+    backend: Union[str, SweepExecutor, None] = None,
+    hosts=None,
+    memory_budget: Optional[int] = None,
     out_dir=None,
     cache_dir=None,
     use_cache: bool = True,
@@ -331,7 +133,7 @@ def run_sweep(
     max_restarts: int = 2,
     progress=None,
 ) -> SweepResult:
-    """Run every cell of ``grid``, sharded over ``workers`` processes.
+    """Run every cell of ``grid``, sharded over the selected backend.
 
     Parameters
     ----------
@@ -339,9 +141,23 @@ def run_sweep(
         A :class:`GridSpec`, a plain mapping of axes, or ``None`` for the
         default E1 grid.
     workers:
-        ``0`` or ``1`` runs serially in-process (no subprocesses — the
-        baseline the parallel path must reproduce byte-identically);
-        ``n >= 2`` spawns ``n`` pool workers.
+        Shard fan-out for parallel backends.  With the default
+        ``backend=None``, ``0`` or ``1`` selects the inline backend (the
+        serial baseline the parallel paths must reproduce byte-identically)
+        and ``n >= 2`` selects the process pool — the historical behaviour.
+    backend:
+        Which :class:`~repro.engine.executors.SweepExecutor` runs the
+        shards: ``"inline"``, ``"process"``, ``"socket"``, an executor
+        instance, or ``None`` for the workers-based default above.
+    hosts:
+        Socket backend only: shard servers to dispatch to, as
+        ``"host:port,host:port"`` or a list of ``(host, port)`` pairs.
+        Without hosts the socket backend self-hosts loopback servers.
+    memory_budget:
+        Socket backend only: per-request budget in estimated ball-volume
+        units (:mod:`repro.engine.executors.sockets`); Δ-large shards are
+        split into sequential batches under this budget so one worker is
+        never handed more resident witness balls than it can hold.
     out_dir:
         Results directory (JSONL shards, ``summary.json``, ``trace.json``).
         ``None`` keeps everything in memory — such a sweep cannot resume,
@@ -371,10 +187,10 @@ def run_sweep(
         cells the lost shards had not yet persisted (default 2).
     progress:
         A :class:`repro.obs.progress.ProgressEmitter` fed heartbeat events
-        while the sweep runs (serial rounds report per row; parallel rounds
-        are polled from the result store).  The emitter only observes the
-        sweep — rows are byte-identical with or without it.  ``None``
-        (default) uses the shared no-op emitter.
+        while the sweep runs (rounds on a backend with per-row callbacks
+        report per row; other rounds are polled from the result store).
+        The emitter only observes the sweep — rows are byte-identical with
+        or without it.  ``None`` (default) uses the shared no-op emitter.
     """
     if grid is None:
         spec = GridSpec()
@@ -388,6 +204,17 @@ def run_sweep(
     cell_keys = {cell.key for cell in cells}
     store = ResultStore(out_dir) if out_dir else None
 
+    executor = as_executor(backend, workers=workers, hosts=hosts, memory_budget=memory_budget)
+    parallel = executor.capabilities.parallel
+    # the serial fallback executor: used for every round of a non-parallel
+    # backend and for the last recovery round of a parallel one
+    if parallel:
+        from .executors.inline import InlineExecutor
+
+        fallback: SweepExecutor = InlineExecutor()
+    else:
+        fallback = executor
+
     done: Dict[str, dict] = {}
     if resume:
         if store is None:
@@ -395,7 +222,6 @@ def run_sweep(
         done = {key: row for key, row in store.completed().items() if key in cell_keys}
     pending = [cell for cell in cells if cell.key not in done]
 
-    parallel = workers >= 2
     collected: Dict[str, dict] = {}
     shard_docs: List[dict] = []
     stats_dicts: List[dict] = []
@@ -406,7 +232,7 @@ def run_sweep(
     live = {"done": len(done)}
 
     def _note_row(row, cache_stats) -> None:
-        # serial rounds only: exact per-row heartbeats (closure-local state)
+        # per-row-capable rounds only: exact heartbeats (closure-local state)
         live["done"] += 1
         progress.update(
             live["done"],
@@ -421,6 +247,7 @@ def run_sweep(
     progress.start(total=len(cells), resumed=len(done))
     if monitor is not None:
         monitor.start()
+    executor.start(ExecutorContext(workers=workers))
     try:
         with tracer.span(
             "engine.sweep",
@@ -428,6 +255,7 @@ def run_sweep(
             pending=len(pending),
             resumed=len(done),
             workers=workers,
+            backend=executor.name,
         ) as sweep_span:
             remaining = list(pending)
             round_ = 0
@@ -440,17 +268,19 @@ def run_sweep(
                 # the last restart round runs in-process: recovery must not be
                 # starved by an environment that keeps killing fresh workers
                 parallel_round = parallel and round_ < max_restarts
+                active = executor if parallel_round else fallback
                 with span_ctx:
-                    shards = _shard_cells(remaining, workers if parallel_round else 1)
-                    payloads = _shard_payloads(
+                    shards = shard_cells(remaining, active.width if parallel_round else 1)
+                    payloads = shard_payloads(
                         shards, store, cache_dir, use_cache, plan, round_,
-                        cell_timeout, retries, in_worker=parallel_round,
+                        cell_timeout, retries,
+                        in_worker=parallel_round and active.capabilities.separate_process,
                     )
-                    outcomes, failures = _run_round(
-                        payloads,
-                        workers if parallel_round else 0,
-                        on_row=None if parallel_round else _note_row,
+                    ctx = ExecutorContext(
+                        workers=workers,
+                        on_row=_note_row if active.capabilities.supports_on_row else None,
                     )
+                    outcomes, failures = active.run_round(payloads, ctx)
                     for _, rows, doc, stats in sorted(outcomes, key=lambda item: item[0]):
                         for row in rows:
                             collected.setdefault(row["key"], row)
@@ -474,7 +304,9 @@ def run_sweep(
                     if key in cell_keys and key not in done:
                         collected.setdefault(key, row)
                 remaining = [cell for cell in remaining if cell.key not in collected and cell.key not in done]
-                recovery["worker_losses"] += sum(1 for _, exc in failures if _is_worker_loss(exc))
+                recovery["worker_losses"] += sum(
+                    1 for _, exc in failures if active.is_worker_loss(exc)
+                )
                 if not remaining:
                     # the dead shard had already flushed every cell it owed
                     break
@@ -498,7 +330,7 @@ def run_sweep(
         )
         merged = merge_trace_documents(
             shard_docs,
-            command=f"sweep ({len(cells)} cells, {workers} workers)",
+            command=f"sweep ({len(cells)} cells, {workers} workers, {executor.name} backend)",
             extra={"cache": cache_stats.as_dict(), "recovery": recovery},
         )
         result = SweepResult(
@@ -510,6 +342,7 @@ def run_sweep(
             resumed=len(done),
             out_dir=str(store.directory) if store else None,
             recovery=recovery,
+            backend=executor.name,
         )
         if store is not None:
             store.write_summary(
@@ -535,15 +368,18 @@ def run_sweep(
         )
         return result
     finally:
+        executor.close()
+        if fallback is not executor:
+            fallback.close()
         if monitor is not None:
             monitor.stop()
         progress.close()
 
 
 class _ProgressMonitor:
-    """Background poller feeding heartbeats while pool workers run.
+    """Background poller feeding heartbeats while parallel shards run.
 
-    The coordinator cannot observe worker rows directly (shards only report
+    The driver cannot observe remote rows directly (shards only report
     back when they finish), so parallel-round heartbeats poll the result
     store's cheap line count — what the workers have flushed so far.  The
     counts are an approximation refined by the exact ``final`` event; the
@@ -580,51 +416,6 @@ def _merged_counter_total(merged_doc: dict, name: str) -> int:
         for row in merged_doc.get("metrics", {}).get("counters", [])
         if row.get("name") == name
     )
-
-
-def _is_worker_loss(exc: BaseException) -> bool:
-    """Whether a shard failure means the worker process itself died."""
-    from concurrent.futures.process import BrokenProcessPool
-
-    return isinstance(exc, (BrokenProcessPool, InjectedWorkerError))
-
-
-def _run_round(
-    payloads: List[dict], workers: int, on_row=None
-) -> Tuple[List[Tuple[int, List[dict], dict, dict]], List[Tuple[dict, BaseException]]]:
-    """Execute one round of shard payloads; never raises on shard failure.
-
-    Returns ``(outcomes, failures)`` where each failure pairs the payload
-    whose shard did not finish with the exception that stopped it — a
-    SIGKILLed worker surfaces as ``BrokenProcessPool`` on every future the
-    broken pool still owed.  ``on_row`` only reaches the in-process serial
-    path; pool workers never see it.
-    """
-    outcomes: List[Tuple[int, List[dict], dict, dict]] = []
-    failures: List[Tuple[dict, BaseException]] = []
-    if workers >= 2 and payloads:
-        from concurrent.futures import ProcessPoolExecutor
-
-        # spawn, not fork: workers must re-import the package so no
-        # half-initialised interpreter state (or installed caches/tracers)
-        # leaks across the process boundary
-        context = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(payloads)), mp_context=context
-        ) as pool:
-            futures = [(pool.submit(_run_shard, payload), payload) for payload in payloads]
-            for future, payload in futures:
-                try:
-                    outcomes.append(future.result())
-                except BaseException as exc:  # noqa: BLE001 - triaged by the caller
-                    failures.append((payload, exc))
-    else:
-        for payload in payloads:
-            try:
-                outcomes.append(_run_shard(payload, on_row))
-            except (InjectedWorkerError, CellExecutionError, CellTimeout) as exc:
-                failures.append((payload, exc))
-    return outcomes, failures
 
 
 def _dedup_rows(done: Dict[str, dict], collected: Dict[str, dict]) -> List[dict]:

@@ -140,9 +140,10 @@ class LintConfig:
     clock_modules: frozenset = frozenset(
         {
             "repro.obs.tracer",
-            # pool: retry backoff + watchdog joins; faults: stall injection.
-            # Both sleep, neither feeds a clock value into model output.
-            "repro.engine.pool",
+            # shard runtime: retry backoff + watchdog joins; faults: stall
+            # injection.  Both sleep, neither feeds a clock value into
+            # model output.
+            "repro.engine.executors.shard",
             "repro.engine.faults",
             # progress: heartbeat throttling/ETAs; bench runner: the
             # warmup/repeat timing harness.  Both inject the clock
@@ -151,7 +152,18 @@ class LintConfig:
             "repro.obs.bench.runner",
         }
     )
-    worker_modules: frozenset = frozenset({"repro.engine.pool"})
+    worker_modules: frozenset = frozenset(
+        {
+            # the driver's progress-monitor thread
+            "repro.engine.pool",
+            # the shard runtime's watchdog thread + ambient lock
+            "repro.engine.executors.shard",
+            # the spawn-context pool backend
+            "repro.engine.executors.process",
+            # loopback server threads + the per-host client fan-out
+            "repro.engine.executors.sockets",
+        }
+    )
     exact_scopes: Tuple[str, ...] = ("repro.matching", "repro.core")
     exact_exempt: frozenset = frozenset({"repro.matching.lp", "repro.analysis"})
     model_packages: Tuple[str, ...] = (

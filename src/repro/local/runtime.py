@@ -221,38 +221,10 @@ def _state_size_estimate(states: Dict[Node, Any]) -> int:
     return sum(len(repr(s)) for s in states.values())
 
 
-def _consume_legacy(func: str, legacy: tuple, names: tuple, given: Dict[str, Any]) -> Dict[str, Any]:
-    """Map deprecated positional extras onto their keyword names.
-
-    The run entry points accept their options keyword-only; old positional
-    spellings still work through this shim but emit a
-    :class:`DeprecationWarning` naming the replacement.
-    """
-    if not legacy:
-        return given
-    if len(legacy) > len(names):
-        raise TypeError(
-            f"{func}() takes at most {len(names)} optional positional "
-            f"arguments ({len(legacy)} given)"
-        )
-    import warnings
-
-    spelled = ", ".join(f"{n}=..." for n in names[: len(legacy)])
-    warnings.warn(
-        f"passing {func}() options positionally is deprecated; "
-        f"use keyword arguments ({spelled})",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    out = dict(given)
-    out.update(zip(names, legacy))
-    return out
-
-
 def run(
     network: Network,
     algorithm: DistributedAlgorithm,
-    *legacy,
+    *,
     max_rounds: int = 10_000,
     sanitize: bool = False,
     sanitize_mode: str = "raise",
@@ -276,24 +248,10 @@ def run(
     to the ambient tracer, a no-op unless installed via
     :func:`repro.obs.use_tracer`.
 
-    All options are keyword-only; legacy positional spellings are accepted
-    with a :class:`DeprecationWarning`.
+    All options are keyword-only; the deprecated positional spellings from
+    the pre-keyword API were removed after two majors of soak — passing
+    them now raises :class:`TypeError` like any other excess positional.
     """
-    opts = _consume_legacy(
-        "run",
-        legacy,
-        ("max_rounds", "sanitize", "sanitize_mode", "tracer"),
-        {
-            "max_rounds": max_rounds,
-            "sanitize": sanitize,
-            "sanitize_mode": sanitize_mode,
-            "tracer": tracer,
-        },
-    )
-    max_rounds = opts["max_rounds"]
-    sanitize = opts["sanitize"]
-    sanitize_mode = opts["sanitize_mode"]
-    tracer = opts["tracer"]
     if algorithm.model != network.model:
         raise ValueError(
             f"algorithm model {algorithm.model!r} does not match network model {network.model!r}"
@@ -359,7 +317,7 @@ def run_rounds(
     network: Network,
     algorithm: DistributedAlgorithm,
     rounds: int,
-    *legacy,
+    *,
     sanitize: bool = False,
     sanitize_mode: str = "raise",
     tracer=None,
@@ -377,18 +335,10 @@ def run_rounds(
     ``RunResult.message_counts`` exactly as in :func:`run`, and ``tracer``
     behaves identically (``local.run_rounds`` / ``local.round`` spans).
 
-    All options after ``rounds`` are keyword-only; legacy positional
-    spellings are accepted with a :class:`DeprecationWarning`.
+    All options after ``rounds`` are keyword-only; the deprecated
+    positional spellings were removed after two majors of soak — passing
+    them now raises :class:`TypeError` like any other excess positional.
     """
-    opts = _consume_legacy(
-        "run_rounds",
-        legacy,
-        ("sanitize", "sanitize_mode", "tracer"),
-        {"sanitize": sanitize, "sanitize_mode": sanitize_mode, "tracer": tracer},
-    )
-    sanitize = opts["sanitize"]
-    sanitize_mode = opts["sanitize_mode"]
-    tracer = opts["tracer"]
     if algorithm.model != network.model:
         raise ValueError(
             f"algorithm model {algorithm.model!r} does not match network model {network.model!r}"

@@ -26,7 +26,7 @@ import os
 import statistics
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -47,11 +47,21 @@ class BenchContext:
     times timed, and returns ``(median_seconds, last_result)``;
     :meth:`time_once` is the single-shot primitive for experiments (like
     cold/warm cache pairs) that must control repetition themselves.
+
+    ``engine_opts`` are extra ``run_sweep`` keyword arguments forwarded to
+    every sweep a runner launches (``backend=``, ``cell_timeout=``, ...);
+    runners that sweep an axis themselves drop the clashing key.  Empty by
+    default, so unconfigured benches behave exactly as before.
     """
 
     repeats: int = 3
     warmup: int = 1
     clock: Callable[[], float] = time.perf_counter
+    engine_opts: Dict[str, object] = field(default_factory=dict)
+
+    def sweep_opts(self, *drop: str) -> Dict[str, object]:
+        """The forwarded engine options, minus runner-owned axes."""
+        return {k: v for k, v in self.engine_opts.items() if k not in drop}
 
     def time_once(self, fn: Callable[[], object]) -> Tuple[float, object]:
         t0 = self.clock()
@@ -96,7 +106,7 @@ def _run_delta_scaling(params: Dict, ctx: BenchContext) -> Tuple[Dict, List[dict
     hits = lookups = 0
     for delta in deltas:
         grid = GridSpec(algorithms=algorithms, deltas=(delta,))
-        median, result = ctx.time(partial(run_sweep, grid))
+        median, result = ctx.time(partial(run_sweep, grid, **ctx.sweep_opts()))
         metrics[f"wall_s_d{delta}"] = _round6(median)
         total_wall += median
         all_rows.extend(result.rows)
@@ -128,7 +138,9 @@ def _run_worker_scaling(params: Dict, ctx: BenchContext) -> Tuple[Dict, List[dic
     walls: Dict[int, float] = {}
     docs: List[dict] = []
     for count in workers:
-        median, result = ctx.time(partial(run_sweep, grid, workers=count))
+        median, result = ctx.time(
+            partial(run_sweep, grid, workers=count, **ctx.sweep_opts("workers"))
+        )
         walls[count] = median
         label = "serial" if count <= 1 else f"w{count}"
         metrics[f"wall_s_{label}"] = _round6(median)
@@ -159,8 +171,13 @@ def _run_cache_scaling(params: Dict, ctx: BenchContext) -> Tuple[Dict, List[dict
     # ctx.time() loop would leave every run after the first warm
     for iteration in range(ctx.warmup + max(1, ctx.repeats)):
         with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tier:
-            cold_s, cold_result = ctx.time_once(partial(run_sweep, grid, cache_dir=tier))
-            warm_s, warm_result = ctx.time_once(partial(run_sweep, grid, cache_dir=tier))
+            opts = ctx.sweep_opts("cache_dir")
+            cold_s, cold_result = ctx.time_once(
+                partial(run_sweep, grid, cache_dir=tier, **opts)
+            )
+            warm_s, warm_result = ctx.time_once(
+                partial(run_sweep, grid, cache_dir=tier, **opts)
+            )
             if iteration >= ctx.warmup:
                 colds.append(cold_s)
                 warms.append(warm_s)
@@ -207,11 +224,15 @@ def run_suite(
     warmup: int = 1,
     clock: Optional[Callable[[], float]] = None,
     commit: Optional[str] = None,
+    engine_opts: Optional[Dict[str, object]] = None,
 ) -> List[dict]:
     """Run every experiment of ``suite``; returns the trajectory rows.
 
-    Rows are *not* persisted here — the CLI owns the append so ``--check``
-    and ``--dry-run`` can run without touching the committed history.
+    ``engine_opts`` forwards execution-control keywords (``backend=``,
+    ``cell_timeout=``, ...) to every sweep the runners launch; see
+    :class:`BenchContext`.  Rows are *not* persisted here — the CLI owns
+    the append so ``--check`` and ``--dry-run`` can run without touching
+    the committed history.
     """
     from ...engine.cache import ENV_CACHE_DIR
 
@@ -221,6 +242,7 @@ def run_suite(
         repeats=repeats,
         warmup=warmup,
         clock=clock if clock is not None else time.perf_counter,
+        engine_opts=dict(engine_opts) if engine_opts else {},
     )
     commit = commit if commit is not None else current_commit()
     # an ambient shared cache would warm the timed sweeps unpredictably

@@ -75,26 +75,48 @@ class TestApiSweep:
         assert len(result.rows) == 1
         assert result.rows[0]["status"] == "ok"
 
+    def test_returns_frozen_typed_report(self):
+        import dataclasses
 
-class TestRuntimeDeprecationShims:
-    def test_positional_max_rounds_warns_but_works(self):
-        network = ECNetwork(path_graph(3))
-        with pytest.warns(DeprecationWarning, match="max_rounds"):
-            result = run(network, ProposalFM("EC"), 50)
-        assert result.halted
+        report = api.sweep({"algorithms": "greedy", "deltas": 3}, backend="inline")
+        assert isinstance(report, api.SweepReport)
+        assert isinstance(report.rows, tuple)
+        assert report.backend == "inline"
+        assert "via the inline backend" in report.summary
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.backend = "process"
 
-    def test_positional_run_rounds_extras_warn(self):
-        network = ECNetwork(path_graph(3))
-        with pytest.warns(DeprecationWarning, match="sanitize"):
-            result = run_rounds(network, ProposalFM("EC"), 1, False)
-        assert result.rounds <= 1
+    def test_facade_reexported_at_package_top_level(self):
+        import repro
 
-    def test_too_many_positionals_rejected(self):
+        assert repro.sweep is api.sweep
+        assert repro.SweepReport is api.SweepReport
+        assert repro.BenchReport is api.BenchReport
+        for name in ("run", "refute", "sweep", "bench"):
+            assert name in repro.__all__ and name in api.__all__
+
+
+class TestRuntimeKeywordOnlyOptions:
+    """The PR 3 positional-argument shims are gone: keyword-only for real."""
+
+    def test_positional_max_rounds_rejected(self):
         network = ECNetwork(path_graph(3))
         with pytest.raises(TypeError, match="positional"):
-            run(network, ProposalFM("EC"), 50, False, "raise", None, "extra")
+            run(network, ProposalFM("EC"), 50)
 
-    def test_keyword_form_does_not_warn(self, recwarn):
+    def test_positional_run_rounds_extras_rejected(self):
         network = ECNetwork(path_graph(3))
-        run(network, ProposalFM("EC"), max_rounds=50)
+        with pytest.raises(TypeError, match="positional"):
+            run_rounds(network, ProposalFM("EC"), 1, False)
+
+    def test_keyword_form_works_without_warnings(self, recwarn):
+        network = ECNetwork(path_graph(3))
+        result = run(network, ProposalFM("EC"), max_rounds=50)
+        assert result.halted
         assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+    def test_run_rounds_keyword_form_works(self):
+        network = ECNetwork(path_graph(3))
+        result = run_rounds(network, ProposalFM("EC"), 1, sanitize=False)
+        assert result.rounds <= 1

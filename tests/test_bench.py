@@ -428,12 +428,20 @@ class TestBenchCLI:
                 "--trajectory", str(tmp_path / "t.jsonl"),
             )
 
-    def test_api_facade_returns_rows_without_persisting(
+    def test_api_facade_returns_typed_report_without_persisting(
         self, tiny_registered, tmp_path, monkeypatch
     ):
+        import dataclasses
+
         import repro.api as api
 
         monkeypatch.chdir(tmp_path)
-        rows = api.bench("tiny", repeats=1, warmup=0, commit="api-test")
-        assert rows[0]["commit"] == "api-test"
+        report = api.bench("tiny", repeats=1, warmup=0, commit="api-test")
+        assert isinstance(report, api.BenchReport)
+        assert dataclasses.is_dataclass(report) and isinstance(report.rows, tuple)
+        assert report.suite == "tiny"
+        assert report.commit == "api-test"
+        assert report.rows[0]["commit"] == "api-test"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.suite = "other"
         assert not (tmp_path / "BENCH_TRAJECTORY.jsonl").exists()

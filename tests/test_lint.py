@@ -215,10 +215,10 @@ class TestClockExemption:
 
     def test_sanctioned_modules_are_the_only_time_readers_in_src(self):
         # linting src with the exemption removed flags exactly the sanctioned
-        # clock modules: the tracer (span timing), the pool (retry backoff,
-        # watchdog joins), the fault injector (stall injection), the progress
-        # emitter (heartbeat throttling/ETAs) and the bench runner (the
-        # warmup/repeat timing harness)
+        # clock modules: the tracer (span timing), the shard runtime (retry
+        # backoff, watchdog joins), the fault injector (stall injection), the
+        # progress emitter (heartbeat throttling/ETAs) and the bench runner
+        # (the warmup/repeat timing harness)
         from dataclasses import replace
 
         strict = replace(DEFAULT_CONFIG, clock_modules=frozenset())
@@ -228,7 +228,7 @@ class TestClockExemption:
             str(SRC / "repro" / "obs" / "tracer.py"),
             str(SRC / "repro" / "obs" / "progress.py"),
             str(SRC / "repro" / "obs" / "bench" / "runner.py"),
-            str(SRC / "repro" / "engine" / "pool.py"),
+            str(SRC / "repro" / "engine" / "executors" / "shard.py"),
             str(SRC / "repro" / "engine" / "faults.py"),
         }
 
@@ -240,7 +240,7 @@ class TestClockExemption:
                 "repro.obs.tracer",
                 "repro.obs.progress",
                 "repro.obs.bench.runner",
-                "repro.engine.pool",
+                "repro.engine.executors.shard",
                 "repro.engine.faults",
             }
         )
@@ -297,13 +297,33 @@ class TestWorkerExemption:
         assert rules_of(findings) == ["determinism"]
         assert all("random" in f.message for f in findings)
 
-    def test_shipped_pool_is_the_only_spawner_in_src(self):
+    def test_shipped_executors_are_the_only_spawners_in_src(self):
+        # the driver (monitor thread), the shard runtime (watchdog thread)
+        # and the process/socket backends; the inline backend runs on
+        # asyncio and needs no sanction at all
         from dataclasses import replace
 
         strict = replace(DEFAULT_CONFIG, worker_modules=frozenset())
         findings = lint_paths([SRC], config=strict, select=["determinism"])
         offenders = {f.path for f in findings}
-        assert offenders == {str(SRC / "repro" / "engine" / "pool.py")}
+        assert offenders == {
+            str(SRC / "repro" / "engine" / "pool.py"),
+            str(SRC / "repro" / "engine" / "executors" / "shard.py"),
+            str(SRC / "repro" / "engine" / "executors" / "process.py"),
+            str(SRC / "repro" / "engine" / "executors" / "sockets.py"),
+        }
+
+    def test_sanctioned_worker_set_is_exactly_declared(self):
+        # same exact-set discipline as the clock exemption: growing the
+        # executors package must grow this assertion consciously
+        assert DEFAULT_CONFIG.worker_modules == frozenset(
+            {
+                "repro.engine.pool",
+                "repro.engine.executors.shard",
+                "repro.engine.executors.process",
+                "repro.engine.executors.sockets",
+            }
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -249,76 +249,35 @@ class TestTracing:
         assert plain.message_counts == traced.message_counts
 
 
-class TestLegacyPositionalShims:
-    """The deprecated positional spellings of run()/run_rounds() options."""
+class TestKeywordOnlyOptions:
+    """run()/run_rounds() options are keyword-only — the PR 3 shims are gone."""
 
     def _network(self):
         return ECNetwork(cycle_graph(4))
 
-    def test_run_positional_warns_once_with_replacement(self):
-        import warnings
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+    def test_run_positional_options_rejected(self):
+        with pytest.raises(TypeError, match="positional"):
             run(self._network(), CountsRounds(2), 50)  # positional max_rounds
-        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1, "the shim must warn exactly once per call"
-        message = str(deprecations[0].message)
-        assert "passing run() options positionally is deprecated" in message
-        assert "use keyword arguments (max_rounds=...)" in message
-
-    def test_run_positional_names_every_consumed_option(self):
-        with pytest.warns(
-            DeprecationWarning,
-            match=r"max_rounds=\.\.\., sanitize=\.\.\., sanitize_mode=\.\.\.",
-        ):
+        with pytest.raises(TypeError, match="positional"):
             run(self._network(), CountsRounds(2), 50, False, "raise")
 
-    def test_run_rounds_positional_warns_with_replacement(self):
-        with pytest.warns(
-            DeprecationWarning,
-            match=r"passing run_rounds\(\) options positionally is deprecated; "
-            r"use keyword arguments \(sanitize=\.\.\.\)",
-        ):
+    def test_run_rounds_positional_options_rejected(self):
+        with pytest.raises(TypeError, match="positional"):
             run_rounds(self._network(), CountsRounds(10), 3, False)
 
-    def test_run_positional_and_keyword_results_identical(self):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = run(self._network(), CountsRounds(3), 50, False, "raise")
-        modern = run(
-            self._network(), CountsRounds(3), max_rounds=50, sanitize=False, sanitize_mode="raise"
-        )
-        assert legacy.outputs == modern.outputs
-        assert legacy.rounds == modern.rounds
-        assert legacy.message_counts == modern.message_counts
-
-    def test_run_rounds_positional_and_keyword_results_identical(self):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = run_rounds(self._network(), CountsRounds(10), 3, False, "raise")
-        modern = run_rounds(
-            self._network(), CountsRounds(10), 3, sanitize=False, sanitize_mode="raise"
-        )
-        assert legacy.outputs == modern.outputs
-        assert legacy.rounds == modern.rounds
-        assert legacy.message_counts == modern.message_counts
-
-    def test_keyword_only_calls_do_not_warn(self):
+    def test_keyword_only_calls_work_without_warnings(self):
         import warnings
 
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            run(self._network(), CountsRounds(2), max_rounds=50)
-            run_rounds(self._network(), CountsRounds(10), 3, sanitize=False)
+            result = run(
+                self._network(), CountsRounds(3), max_rounds=50,
+                sanitize=False, sanitize_mode="raise",
+            )
+            bounded = run_rounds(
+                self._network(), CountsRounds(10), 3,
+                sanitize=False, sanitize_mode="raise",
+            )
+        assert result.halted
+        assert bounded.rounds <= 3
         assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
-
-    def test_too_many_positionals_rejected(self):
-        with pytest.raises(TypeError, match="at most 4 optional positional"):
-            run(self._network(), CountsRounds(2), 50, False, "raise", None, "extra")
-        with pytest.raises(TypeError, match="at most 3 optional positional"):
-            run_rounds(self._network(), CountsRounds(10), 3, False, "raise", None, "extra")
