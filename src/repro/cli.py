@@ -935,6 +935,15 @@ def _cmd_sweep(args) -> int:
         _emit_json(args, json_.dumps(payload, sort_keys=True))
     refuted = sum(1 for row in result.rows if row["status"] == "refuted")
     if args.min_hit_rate is not None:
+        # interned-plan reuse is reported alongside the rate but never
+        # gated: a plan hit is a cheap compute under a miss, not a lookup
+        if result.cache.misses:
+            print(
+                f"interned-plan reuse: {result.cache.plan_hits}/{result.cache.misses} "
+                f"miss(es) answered by a cached shape plan"
+            )
+        else:
+            print("interned-plan reuse: n/a (0 canonicalisation misses)")
         if result.cache.lookups == 0:
             # no lookups (e.g. --no-cache, or a grid whose cells never
             # canonicalise): a rate floor is meaningless, not a failure

@@ -42,18 +42,29 @@ class PropagationError(RuntimeError):
 
 
 def node_load_of_output(g: ECGraph, outputs: NodeOutputs, v: Node) -> Fraction:
-    """``y[v]`` computed from a per-node colour->weight output map."""
-    return sum((Fraction(outputs[v][e.color]) for e in g.incident_edges(v)), Fraction(0))
+    """``y[v]`` computed from a per-node colour->weight output map.
+
+    Iterates the node's colour slots directly (:meth:`ECGraph.incident_colors`)
+    rather than materialising sorted edge records — exact :class:`Fraction`
+    addition is order-independent, so the slot order is irrelevant.
+    """
+    out = outputs[v]
+    return sum(
+        (
+            w if type(w) is Fraction else Fraction(w)
+            for w in (out[c] for c in g.incident_colors(v))
+        ),
+        Fraction(0),
+    )
 
 
 def disagreeing_colors(outputs1: NodeOutputs, outputs2: NodeOutputs, v: Node) -> List[Color]:
     """Colours incident to ``v`` on which the two outputs differ (sorted)."""
-    colors = set(outputs1[v].keys()) | set(outputs2[v].keys())
-    diff = [
-        c
-        for c in colors
-        if Fraction(outputs1[v].get(c, 0)) != Fraction(outputs2[v].get(c, 0))
-    ]
+    o1, o2 = outputs1[v], outputs2[v]
+    colors = set(o1.keys()) | set(o2.keys())
+    # numeric != is exact across int/Fraction/float operands, so the
+    # defensive Fraction() wraps would not change the comparison
+    diff = [c for c in colors if o1.get(c, 0) != o2.get(c, 0)]
     return sorted(diff, key=repr)
 
 

@@ -44,6 +44,7 @@ from typing import Any, Callable, Hashable, Optional, Tuple
 from ..graphs.kernel import GraphKernel
 from ..graphs.multigraph import ECGraph
 from ..graphs.serialize import decode_label, encode_label
+from ..graphs.soa import plan_hit_count
 from ..obs.tracer import current_tracer
 from .faults import active_injector
 
@@ -108,7 +109,15 @@ decode_form = decode_label
 
 @dataclass
 class CacheStats:
-    """Counters describing one cache's life so far."""
+    """Counters describing one cache's life so far.
+
+    ``plan_hits`` counts *interned-plan reuse*: misses of the digest-keyed
+    tiers whose form was nonetheless answered by the SoA canonicaliser's
+    shape-plan cache (:mod:`repro.graphs.soa`) instead of a fresh tuple
+    construction.  It is reported separately from ``hits``/``disk_hits``
+    and never enters ``hit_rate`` — a plan hit is a cheap *compute*, not a
+    cache lookup that succeeded.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -116,6 +125,7 @@ class CacheStats:
     disk_hits: int = 0
     disk_corrupt: int = 0
     disk_errors: int = 0
+    plan_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -133,13 +143,18 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_corrupt": self.disk_corrupt,
             "disk_errors": self.disk_errors,
+            "plan_hits": self.plan_hits,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
         }
 
     @classmethod
     def merged(cls, dicts) -> "CacheStats":
-        """Aggregate several ``as_dict`` payloads (one per worker)."""
+        """Aggregate several ``as_dict`` payloads (one per worker).
+
+        Every counter reads through ``.get(key, 0)`` so payloads written by
+        older workers (without ``plan_hits``) merge cleanly.
+        """
         total = cls()
         for d in dicts:
             total.hits += d.get("hits", 0)
@@ -148,6 +163,7 @@ class CacheStats:
             total.disk_hits += d.get("disk_hits", 0)
             total.disk_corrupt += d.get("disk_corrupt", 0)
             total.disk_errors += d.get("disk_errors", 0)
+            total.plan_hits += d.get("plan_hits", 0)
         return total
 
 
@@ -206,7 +222,15 @@ class CanonicalFormCache:
             return form
         self.stats.misses += 1
         metrics.counter("engine.canonical_cache", outcome="miss").inc()
+        # the compute path runs the SoA array kernel (via the installed
+        # ``compute``); when its shape-plan cache answers the root shape,
+        # credit the reuse separately from the digest-keyed tiers
+        before_plan = plan_hit_count()
         form = compute(g, root)
+        gained = plan_hit_count() - before_plan
+        if gained:
+            self.stats.plan_hits += gained
+            metrics.counter("engine.canonical_cache", outcome="plan_hit").inc(gained)
         self._put(key, form)
         return form
 

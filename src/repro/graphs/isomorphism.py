@@ -19,6 +19,7 @@ from typing import Hashable, Optional, Tuple
 
 import networkx as nx
 
+from . import soa
 from .multigraph import ECGraph
 from .neighborhoods import Ball
 
@@ -106,17 +107,30 @@ def canonical_rooted_form(g: ECGraph, root: Node, _from_eid: Optional[int] = Non
     return tuple(sorted(entries, key=lambda item: (repr(item[0]), repr(item[1]))))
 
 
+def _compute_canonical(g: ECGraph, root: Node) -> Tuple:
+    """The compute path under a cache miss: the plan-cached array kernel
+    (:func:`repro.graphs.soa.canonical_form_fast`) when the graph's frozen
+    kernel admits a SoA snapshot, the reference recursion otherwise.  Both
+    produce identical tuples; the recursion remains the semantics of
+    record."""
+    form = soa.canonical_form_fast(g, root)
+    if form is not None:
+        return form
+    return canonical_rooted_form(g, root)
+
+
 def canonical_form_of(g: ECGraph, root: Node) -> Tuple:
     """Canonical rooted form of a tree-with-loops, through the ambient cache.
 
     Equal to :func:`canonical_rooted_form` but consults the installed
-    canonical-form cache (:func:`install_canonical_cache`) first; the hot
-    path of ball-isomorphism checks and of the parallel sweep engine.
+    canonical-form cache (:func:`install_canonical_cache`) first and
+    computes misses over the columnar SoA snapshot; the hot path of
+    ball-isomorphism checks and of the parallel sweep engine.
     """
     cache = _CANONICAL_CACHE
     if cache is not None:
-        return cache.canonical_form(g, root, canonical_rooted_form)
-    return canonical_rooted_form(g, root)
+        return cache.canonical_form(g, root, _compute_canonical)
+    return _compute_canonical(g, root)
 
 
 def rooted_isomorphic(g1: ECGraph, r1: Node, g2: ECGraph, r2: Node) -> bool:

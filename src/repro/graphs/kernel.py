@@ -46,6 +46,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
+from .labels import LABELS
+
 Node = Hashable
 Color = Any
 EdgeId = int
@@ -133,45 +135,20 @@ class DiEdge:
 
 
 # ----------------------------------------------------------------------
-# digest tokens
+# digest tokens — memoized in the process-wide interned-label table
+# (repro.graphs.labels); the payload encoding is unchanged, so digests
+# stay byte-identical across the refactor
 # ----------------------------------------------------------------------
-def _sha_int(payload: bytes) -> int:
-    return int.from_bytes(hashlib.sha256(payload).digest(), "big")
-
-
-# Node labels in the adversary ladder are deeply nested tuples whose repr
-# is O(label size); every incident edge token would re-serialise both
-# endpoints.  Labels are hashable (they key the slot maps), so the
-# serialised bytes are memoized per label value.
-_label_bytes_cache: Dict[Node, bytes] = {}
-_LABEL_CACHE_LIMIT = 1 << 20
-
-
 def _label_bytes(v: Node) -> bytes:
-    # The memo is observationally transparent — the cached value depends
-    # only on the key — so these two writes are sanctioned global state.
-    cached = _label_bytes_cache.get(v)
-    if cached is None:
-        if len(_label_bytes_cache) >= _LABEL_CACHE_LIMIT:
-            _label_bytes_cache.clear()  # repro: noqa[effect-escape]
-        cached = repr(v).encode("utf-8")
-        _label_bytes_cache[v] = cached  # repro: noqa[effect-escape]
-    return cached
+    return LABELS.repr_bytes(v)
 
 
 def _node_token(v: Node) -> int:
-    return _sha_int(b"node\x00" + _label_bytes(v))
+    return LABELS.node_token(v)
 
 
 def _edge_token(ends: Tuple[Node, Node], color: Color, directed: bool) -> int:
-    if directed:
-        a, b = _label_bytes(ends[0]), _label_bytes(ends[1])
-        tag = b"arc\x00"
-    else:
-        a, b = sorted((_label_bytes(ends[0]), _label_bytes(ends[1])))
-        tag = b"edge\x00"
-    payload = tag + a + b"\x00" + b + b"\x00" + repr(color).encode("utf-8")
-    return _sha_int(payload)
+    return LABELS.edge_token(ends, color, directed)
 
 
 def _record_token(record, directed: bool) -> int:
@@ -189,7 +166,7 @@ class GraphKernel:
     builder forked from it.
     """
 
-    __slots__ = ("_directed", "_slots", "_edges", "_acc", "_next_eid", "_digest")
+    __slots__ = ("_directed", "_slots", "_edges", "_acc", "_next_eid", "_digest", "_soa")
 
     def __init__(self, directed: bool, slots, edges, acc: int, next_eid: int):
         object.__setattr__(self, "_directed", directed)
@@ -198,6 +175,9 @@ class GraphKernel:
         object.__setattr__(self, "_acc", acc)
         object.__setattr__(self, "_next_eid", next_eid)
         object.__setattr__(self, "_digest", None)
+        # lazily-built columnar snapshot (repro.graphs.soa); None until the
+        # first consumer asks, a sentinel when the structure defies one
+        object.__setattr__(self, "_soa", None)
 
     def __setattr__(self, name, value):
         raise FrozenKernelError(

@@ -40,6 +40,42 @@ __all__ = [
 ]
 
 
+class _LiftMemo:
+    """Process-global memo of unfold/mix results, keyed by content digest.
+
+    ``unfold_loop`` and ``mix`` are pure functions of their input graphs'
+    labelled structure plus the chosen loop ids, and loop ids are stable
+    across rebuilds of the same graph — so ``(digest, eid)`` keys are sound.
+    Values hold the *frozen kernel* of the result; every lookup wraps it in
+    a fresh copy-on-write :class:`ECGraph` view, so callers may mutate their
+    copy without ever reaching the shared snapshot.  This is what makes the
+    adversary's ladder construction O(lookup) on repeated inputs (sweep
+    repeats, the G/H symmetry) instead of O(re-merge).
+
+    All mutation happens through methods on this instance, mirroring the
+    SoA plan cache's containment pattern.
+    """
+
+    __slots__ = ("limit", "_entries")
+
+    def __init__(self, limit: int = 4096) -> None:
+        self.limit = limit
+        self._entries: Dict[tuple, tuple] = {}
+
+    def get(self, key: tuple):
+        return self._entries.get(key)
+
+    def put(self, key: tuple, value: tuple) -> None:
+        if len(self._entries) >= self.limit:
+            self._entries.clear()
+        self._entries[key] = value
+
+
+#: the singletons behind the unfold/mix fast paths
+_UNFOLDS = _LiftMemo()
+_MIXES = _LiftMemo()
+
+
 def is_covering_map_ec(h: ECGraph, g: ECGraph, alpha: Dict[Node, Node]) -> bool:
     """Check that ``alpha`` is a covering map from EC-graph ``h`` onto ``g``.
 
@@ -107,6 +143,11 @@ def unfold_loop(g: ECGraph, loop_eid: int) -> Tuple[ECGraph, Dict[Node, Node], i
     e = g.edge(loop_eid)
     if not e.is_loop:
         raise ValueError(f"edge {loop_eid} is not a loop")
+    key = (g.kernel.digest, loop_eid)
+    hit = _UNFOLDS.get(key)
+    if hit is not None:
+        kernel, alpha, new_eid = hit
+        return ECGraph.from_kernel(kernel), dict(alpha), new_eid
     anchor = e.u
     builder = GraphBuilder(directed=False)
     mappings = builder.double(g, tags=(0, 1), skip_eids=(loop_eid,))
@@ -114,7 +155,9 @@ def unfold_loop(g: ECGraph, loop_eid: int) -> Tuple[ECGraph, Dict[Node, Node], i
         tagged: v for mapping in mappings for v, tagged in mapping.items()
     }
     new_eid = builder.add_edge((0, anchor), (1, anchor), e.color)
-    return ECGraph._wrap(builder), alpha, new_eid
+    lifted = ECGraph._wrap(builder)
+    _UNFOLDS.put(key, (lifted.kernel, dict(alpha), new_eid))
+    return lifted, alpha, new_eid
 
 
 def mix(
@@ -137,11 +180,18 @@ def mix(
         raise ValueError("both edges must be loops")
     if e.color != f.color:
         raise ValueError(f"loop colours differ: {e.color!r} vs {f.color!r}")
+    key = (g.kernel.digest, g_loop_eid, h.kernel.digest, h_loop_eid)
+    hit = _MIXES.get(key)
+    if hit is not None:
+        kernel, new_eid = hit
+        return ECGraph.from_kernel(kernel), new_eid
     builder = GraphBuilder(directed=False)
     builder.merge(g, tag=0, skip_eids=(g_loop_eid,))
     builder.merge(h, tag=1, skip_eids=(h_loop_eid,))
     new_eid = builder.add_edge((0, e.u), (1, f.u), e.color)
-    return ECGraph._wrap(builder), new_eid
+    mixed = ECGraph._wrap(builder)
+    _MIXES.put(key, (mixed.kernel, new_eid))
+    return mixed, new_eid
 
 
 def random_two_lift(g: ECGraph, rng: random.Random) -> Tuple[ECGraph, Dict[Node, Node]]:

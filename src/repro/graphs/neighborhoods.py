@@ -18,6 +18,7 @@ from typing import Dict, Hashable
 
 from .kernel import GraphKernel
 from .multigraph import ECGraph
+from .soa import extract_ball as _extract_ball_fast
 
 Node = Hashable
 
@@ -82,6 +83,12 @@ def ball(g: ECGraph, v: Node, t: int) -> Ball:
     """
     if t < 0:
         raise ValueError("radius must be non-negative")
+    fast = _extract_ball_fast(g, v, t)
+    if fast is not None:
+        sub_kernel, dist = fast
+        return Ball(
+            graph=ECGraph.from_kernel(sub_kernel), root=v, radius=t, distances=dist
+        )
     dist = g.bfs_distances(v, max_dist=t)
     sub = ECGraph()
     for w in dist:

@@ -1,0 +1,596 @@
+"""Columnar (structure-of-arrays) snapshots of frozen graph kernels.
+
+A :class:`~repro.graphs.kernel.GraphKernel` stores a graph as Python dicts
+of labelled objects — ideal for copy-on-write forking, hostile to tight
+loops: canonicalising a ball or extracting a neighbourhood walks tuples
+node-by-node and re-hashes labels edge-by-edge.  This module builds, per
+frozen kernel and on first demand, a **SoA snapshot**: contiguous integer
+columns (:mod:`array` ``'q'`` buffers, zero-copy viewable as NumPy arrays)
+over the interned-label ids of :mod:`repro.graphs.labels`:
+
+* per-node: the interned label id, and a CSR slice of *slot* columns;
+* per-slot (CSR, colour-sorted to match ``ECGraph.incident_edges`` order):
+  the colour's interned id, the edge id, and the dense index of the other
+  endpoint — adjacency without touching an ``Edge`` record;
+* a second per-node permutation ordering each node's slots by ``repr``
+  of the colour — the exact sort key of
+  :func:`repro.graphs.isomorphism.canonical_rooted_form`;
+* per-edge: edge id and both endpoint indices, in insertion order.
+
+On top of the snapshot live the two integer-array hot paths:
+
+* :func:`canonical_form_fast` — an iterative, hash-consed canonicaliser.
+  Each node's *shape* — its ``(colour id, child form id)`` rows in
+  canonical order — keys a process-wide plan cache mapping shapes to
+  already-built form tuples, so isomorphic subtrees (the G- and H-side
+  balls of every adversary step differ only in node labels, never in
+  colour structure) are recognised in O(degree) without rebuilding or
+  re-hashing their encodings.  A root-level plan hit is counted and
+  surfaced as the engine cache's ``plan_hits`` statistic.
+* :func:`extract_ball` — radius-``t`` neighbourhood extraction that BFS-es
+  over the CSR columns and assembles the sub-kernel's dicts directly
+  (sharing the parent's frozen edge records, summing memoized digest
+  tokens), skipping the per-edge properness checks and token hashing of
+  the generic builder path.
+
+Both functions return ``None`` (or raise exactly what the object path
+would) whenever a snapshot cannot represent the input — directed kernels,
+unsortable colours, colours with colliding ``repr``; callers fall back to
+the reference implementations, which remain the semantics of record.
+Snapshots memoize into the kernel's ``_soa`` slot and carry the label
+table's generation: a table clear invalidates every snapshot and the plan
+cache wholesale.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from .kernel import _MASK, GraphKernel
+from .labels import LABELS
+
+Node = Hashable
+
+__all__ = [
+    "SoASnapshot",
+    "snapshot_of",
+    "canonical_form_fast",
+    "extract_ball",
+    "plan_hit_count",
+    "plan_stats",
+    "reset_plan_cache",
+]
+
+#: payload markers, byte-identical to the canonicaliser's encoding
+_LOOP = "loop"
+_CUT = "cut"
+#: child-form sentinels inside plan-cache shape keys (real ids are >= 0)
+_LOOP_FID = -1
+_CUT_FID = -2
+
+#: kernels whose structure defies a snapshot memoize this sentinel so the
+#: (failing) build is attempted once, not per lookup
+_UNAVAILABLE = "soa-unavailable"
+
+#: consed forms kept before the plan cache self-clears (a backstop far
+#: above any real sweep; clearing only ever costs recomputation)
+_PLAN_LIMIT = 1 << 18
+
+#: edge count from which ball extraction switches the edge-inclusion
+#: filter to the vectorised NumPy path (below it, loop overhead wins)
+_VECTOR_MIN_EDGES = 64
+
+
+class SoASnapshot:
+    """Immutable columnar view of one frozen, undirected kernel."""
+
+    __slots__ = (
+        "generation",
+        "n",
+        "m",
+        "labels",
+        "index_of",
+        "node_lids",
+        "slot_off",
+        "slot_color_lids",
+        "slot_colors",
+        "slot_eids",
+        "slot_other",
+        "slot_repr_order",
+        "canonical_ok",
+        "edge_eids",
+        "edge_ui",
+        "edge_vi",
+        "edge_color_lids",
+        "_edge_np",
+    )
+
+    def __init__(self) -> None:
+        self.generation = LABELS.generation
+        self.n = 0
+        self.m = 0
+        self.labels: List[Node] = []
+        self.index_of: Dict[Node, int] = {}
+        self.node_lids = array("q")
+        self.slot_off = array("q", (0,))
+        self.slot_color_lids = array("q")
+        self.slot_colors: List[Any] = []
+        self.slot_eids = array("q")
+        self.slot_other = array("q")
+        self.slot_repr_order = array("q")
+        self.canonical_ok = True
+        self.edge_eids = array("q")
+        self.edge_ui = array("q")
+        self.edge_vi = array("q")
+        self.edge_color_lids = array("q")
+        self._edge_np: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def edge_endpoint_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy int64 views of the edge endpoint columns."""
+        if self._edge_np is None:
+            self._edge_np = (
+                np.frombuffer(self.edge_ui, dtype=np.int64),
+                np.frombuffer(self.edge_vi, dtype=np.int64),
+            )
+        return self._edge_np
+
+
+def _build(kernel: GraphKernel) -> SoASnapshot:
+    slots_map = kernel._slots
+    edges_map = kernel._edges
+    intern = LABELS.intern
+    repr_bytes_of = LABELS.repr_bytes_of
+
+    snap = SoASnapshot()
+    labels = list(slots_map.keys())
+    index_of = {v: i for i, v in enumerate(labels)}
+    snap.labels = labels
+    snap.index_of = index_of
+    snap.n = len(labels)
+    snap.m = len(edges_map)
+    snap.node_lids = array("q", (intern(v) for v in labels))
+
+    off = snap.slot_off
+    color_lids = snap.slot_color_lids
+    colors = snap.slot_colors
+    eids = snap.slot_eids
+    other = snap.slot_other
+    repr_order = snap.slot_repr_order
+    canonical_ok = True
+    base = 0
+    for v, vi in index_of.items():
+        # colour-sorted = the native ``incident_edges`` iteration order
+        items = sorted(slots_map[v].items())
+        reprs: List[bytes] = []
+        for color, eid in items:
+            clid = intern(color)
+            color_lids.append(clid)
+            colors.append(color)
+            eids.append(eid)
+            record = edges_map[eid]
+            w = record.v if record.u == v else record.u
+            other.append(vi if w == v else index_of[w])
+            reprs.append(repr_bytes_of(clid))
+        base += len(items)
+        off.append(base)
+        # canonical order sorts by repr(colour); UTF-8 bytes preserve the
+        # code-point comparison, so the memoized bytes are the sort key
+        order = sorted(range(len(items)), key=reprs.__getitem__)
+        start = base - len(items)
+        repr_order.extend(start + j for j in order)
+        for a, b in zip(order, order[1:]):
+            if reprs[a] == reprs[b]:
+                # two distinct colours sharing a repr: the reference sort
+                # would consult payload reprs — defer to it for this graph
+                canonical_ok = False
+    snap.canonical_ok = canonical_ok
+
+    edge_eids = snap.edge_eids
+    edge_ui = snap.edge_ui
+    edge_vi = snap.edge_vi
+    edge_color_lids = snap.edge_color_lids
+    for eid, record in edges_map.items():
+        edge_eids.append(eid)
+        edge_ui.append(index_of[record.u])
+        edge_vi.append(index_of[record.v])
+        edge_color_lids.append(intern(record.color))
+    return snap
+
+
+def snapshot_of(kernel: GraphKernel) -> Optional[SoASnapshot]:
+    """The memoized SoA snapshot of a frozen kernel, or ``None``.
+
+    ``None`` means the structure defies a snapshot (directed discipline,
+    colours that do not sort) — callers must fall back to the object path.
+    Snapshots built against a since-cleared label table are rebuilt.
+    """
+    snap = kernel._soa
+    if isinstance(snap, SoASnapshot) and snap.generation == LABELS.generation:
+        return snap
+    if snap is _UNAVAILABLE:
+        return None
+    if kernel._directed:
+        object.__setattr__(kernel, "_soa", _UNAVAILABLE)
+        return None
+    try:
+        snap = _build(kernel)
+    except Exception:
+        object.__setattr__(kernel, "_soa", _UNAVAILABLE)
+        return None
+    object.__setattr__(kernel, "_soa", snap)
+    return snap
+
+
+def _kernel_of(g) -> Optional[GraphKernel]:
+    if isinstance(g, GraphKernel):
+        return g
+    kernel = getattr(g, "kernel", None)
+    return kernel if isinstance(kernel, GraphKernel) else None
+
+
+# ----------------------------------------------------------------------
+# plan-cached canonicalisation
+# ----------------------------------------------------------------------
+class _PlanCache:
+    """Hash-consed canonical forms keyed by integer shape rows.
+
+    ``cons`` maps a node's shape — the tuple of ``(colour lid, child form
+    id)`` rows in canonical order — to a dense form id; ``forms[fid]`` is
+    the canonical tuple itself.  Because equal shapes produce *identical*
+    (not merely equal) tuples, consing both deduplicates the O(subtree)
+    tuple construction and makes repeat equality checks pointer-fast.
+    """
+
+    __slots__ = ("generation", "cons", "forms", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.generation = LABELS.generation
+        self.cons: Dict[Tuple, int] = {}
+        self.forms: List[Tuple] = []
+        self.hits = 0
+        self.misses = 0
+
+    def refresh(self) -> None:
+        """Invalidate when the interned ids inside keys went stale."""
+        if self.generation != LABELS.generation or len(self.forms) > _PLAN_LIMIT:
+            self.generation = LABELS.generation
+            self.cons.clear()
+            self.forms.clear()
+
+    def record(self, root_hit: bool) -> None:
+        if root_hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+
+_PLANS = _PlanCache()
+
+
+def plan_hit_count() -> int:
+    """Monotone count of root-level plan-cache hits (for stats deltas)."""
+    return _PLANS.hits
+
+
+def plan_stats() -> Dict[str, int]:
+    """Current plan-cache counters (hits, misses, consed shapes)."""
+    return {
+        "hits": _PLANS.hits,
+        "misses": _PLANS.misses,
+        "shapes": len(_PLANS.cons),
+    }
+
+
+def reset_plan_cache() -> None:
+    """Drop all consed plans and counters (test isolation hook)."""
+    plans = _PLANS
+    plans.generation = LABELS.generation
+    plans.cons.clear()
+    plans.forms.clear()
+    plans.hits = 0
+    plans.misses = 0
+
+
+def canonical_form_fast(g, root: Node) -> Optional[Tuple]:
+    """Canonical rooted form over the SoA snapshot, or ``None`` to fall back.
+
+    Byte-identical to :func:`repro.graphs.isomorphism.canonical_rooted_form`
+    on every input it accepts; raises ``ValueError`` when the graph
+    (ignoring loops) contains a cycle, where the reference recursion would
+    not terminate.
+    """
+    kernel = _kernel_of(g)
+    if kernel is None:
+        return None
+    snap = snapshot_of(kernel)
+    if snap is None or not snap.canonical_ok:
+        return None
+    root_index = snap.index_of.get(root)
+    if root_index is None:
+        return None
+    plans = _PLANS
+    plans.refresh()
+    form, root_hit = _consed_form(snap, root_index, plans)
+    plans.record(root_hit)
+    return form
+
+
+def _consed_form(snap: SoASnapshot, root_index: int, plans: _PlanCache) -> Tuple[Tuple, bool]:
+    off = snap.slot_off
+    repr_order = snap.slot_repr_order
+    slot_eids = snap.slot_eids
+    slot_other = snap.slot_other
+    slot_colors = snap.slot_colors
+    slot_color_lids = snap.slot_color_lids
+    cons = plans.cons
+    forms = plans.forms
+    visited = bytearray(snap.n)
+
+    # frame: [node, arrival eid, cursor, end, shape rows, entries,
+    #         pending colour lid, pending colour]
+    visited[root_index] = 1
+    stack: List[list] = [
+        [root_index, -1, off[root_index], off[root_index + 1], [], [], -1, None]
+    ]
+    while True:
+        frame = stack[-1]
+        if frame[2] < frame[3]:
+            p = repr_order[frame[2]]
+            frame[2] += 1
+            eid = slot_eids[p]
+            if eid == frame[1]:
+                frame[4].append((slot_color_lids[p], _CUT_FID))
+                frame[5].append((slot_colors[p], _CUT))
+                continue
+            child = slot_other[p]
+            if child == frame[0]:
+                frame[4].append((slot_color_lids[p], _LOOP_FID))
+                frame[5].append((slot_colors[p], _LOOP))
+                continue
+            if visited[child]:
+                raise ValueError(
+                    "canonical form undefined: graph contains a cycle "
+                    "(ignoring loops); canonical_rooted_form requires a tree"
+                )
+            visited[child] = 1
+            frame[6] = slot_color_lids[p]
+            frame[7] = slot_colors[p]
+            stack.append([child, eid, off[child], off[child + 1], [], [], -1, None])
+            continue
+        # node complete: cons its shape into a form id
+        key = tuple(frame[4])
+        fid = cons.get(key)
+        hit = fid is not None
+        if fid is None:
+            fid = len(forms)
+            forms.append(tuple(frame[5]))
+            cons[key] = fid
+        stack.pop()
+        if not stack:
+            return forms[fid], hit
+        parent = stack[-1]
+        parent[4].append((parent[6], fid))
+        parent[5].append((parent[7], forms[fid]))
+
+
+# ----------------------------------------------------------------------
+# columnar ball extraction
+# ----------------------------------------------------------------------
+class _BallMemo:
+    """Process-global memo of extracted balls, keyed by content digest.
+
+    A ball is a pure function of the parent graph's labelled structure,
+    the root label and the radius, so ``(digest, root, t)`` keys are sound
+    and never go stale.  Values hold the ball's frozen kernel (safe to
+    share: every consumer wraps it in a copy-on-write view) plus the BFS
+    distance dict, copied per lookup so callers may own their copy.
+
+    All mutation happens through methods on this instance, mirroring the
+    plan cache's containment pattern.
+    """
+
+    __slots__ = ("limit", "_entries")
+
+    def __init__(self, limit: int = 8192) -> None:
+        self.limit = limit
+        self._entries: Dict[tuple, tuple] = {}
+
+    def get(self, key: tuple):
+        return self._entries.get(key)
+
+    def put(self, key: tuple, value: tuple) -> None:
+        if len(self._entries) >= self.limit:
+            self._entries.clear()
+        self._entries[key] = value
+
+
+_BALLS = _BallMemo()
+
+
+def extract_ball(g, root: Node, t: int):
+    """``tau_t(g, root)`` assembled directly over the SoA columns.
+
+    Returns ``(sub_kernel, distances)`` — the frozen kernel of the ball's
+    subgraph (sharing the parent's edge records) plus the BFS distance
+    dict in discovery order — or ``None`` when no snapshot is available.
+    Node order, edge order, edge ids and the content digest are identical
+    to the historical builder-based extraction.  Results are memoized
+    process-wide by ``(parent digest, root, t)``.
+    """
+    kernel = _kernel_of(g)
+    if kernel is None:
+        return None
+    memo_key = (kernel.digest, root, t)
+    hit = _BALLS.get(memo_key)
+    if hit is not None:
+        sub_kernel, distances = hit
+        return sub_kernel, dict(distances)
+    snap = snapshot_of(kernel)
+    if snap is None:
+        return None
+    root_index = snap.index_of.get(root)
+    if root_index is None:
+        return None
+
+    n = snap.n
+    off = snap.slot_off
+    other = snap.slot_other
+    dist = array("q", (-1,)) * n
+    dist[root_index] = 0
+    order = [root_index]
+    frontier = [root_index]
+    d = 0
+    while frontier and d < t:
+        d += 1
+        nxt: List[int] = []
+        for v in frontier:
+            for p in range(off[v], off[v + 1]):
+                w = other[p]
+                if dist[w] < 0:
+                    dist[w] = d
+                    order.append(w)
+                    nxt.append(w)
+        frontier = nxt
+
+    labels = snap.labels
+    node_lids = snap.node_lids
+    distances = {labels[i]: dist[i] for i in order}
+    slots: Dict[Node, Dict[Any, int]] = {labels[i]: {} for i in order}
+    edges: Dict[int, Any] = {}
+    node_token_of = LABELS.node_token_of
+    acc = 0
+    for i in order:
+        acc += node_token_of(node_lids[i])
+
+    next_eid = 0
+    kept: List[int] = []
+    if t >= 1 and snap.m:
+        edge_token_of = LABELS.edge_token_of
+        edges_map = kernel._edges
+        edge_eids = snap.edge_eids
+        edge_ui = snap.edge_ui
+        edge_vi = snap.edge_vi
+        edge_color_lids = snap.edge_color_lids
+        reach = t - 1
+        kept = _included_edges(snap, dist, reach)
+        for j in kept:
+            eid = edge_eids[j]
+            record = edges_map[eid]
+            color = record.color
+            slots[record.u][color] = eid
+            if record.u != record.v:
+                slots[record.v][color] = eid
+            edges[eid] = record
+            acc += edge_token_of(node_lids[edge_ui[j]], node_lids[edge_vi[j]], edge_color_lids[j], False)
+            # the builder recurrence, reproduced exactly for byte-compat
+            next_eid = (next_eid if next_eid > eid else eid) + 1
+    sub_kernel = GraphKernel(False, slots, edges, acc & _MASK, next_eid)
+    if snap.canonical_ok:
+        sub_snap = _derive_ball_snapshot(snap, order, edges, kept)
+        object.__setattr__(sub_kernel, "_soa", sub_snap)
+    _BALLS.put(memo_key, (sub_kernel, distances))
+    return sub_kernel, dict(distances)
+
+
+def _derive_ball_snapshot(
+    parent: SoASnapshot, order: List[int], edges: Dict[int, Any], kept: List[int]
+) -> SoASnapshot:
+    """The ball sub-kernel's snapshot, filtered out of the parent's columns.
+
+    Per node, the kept slots are a subsequence of the parent's colour-sorted
+    slots (so they stay colour-sorted), and the kept entries of the parent's
+    stable repr permutation are the stable repr permutation of the
+    subsequence — column-for-column what :func:`_build` would compute, with
+    no sorting, interning or ``repr`` work.  Only called when the parent is
+    ``canonical_ok`` (no repr ties), which the subsequence then inherits.
+    """
+    sub = SoASnapshot()
+    sub.generation = parent.generation
+    labels = parent.labels
+    sub.labels = [labels[i] for i in order]
+    sub.index_of = {labels[i]: k for k, i in enumerate(order)}
+    sub.n = len(order)
+    sub.m = len(edges)
+    sub.node_lids = array("q", (parent.node_lids[i] for i in order))
+
+    new_index = array("q", (-1,)) * parent.n
+    for k, i in enumerate(order):
+        new_index[i] = k
+
+    p_off = parent.slot_off
+    p_color_lids = parent.slot_color_lids
+    p_colors = parent.slot_colors
+    p_eids = parent.slot_eids
+    p_other = parent.slot_other
+    p_repr_order = parent.slot_repr_order
+    s_off = sub.slot_off
+    s_color_lids = sub.slot_color_lids
+    s_colors = sub.slot_colors
+    s_eids = sub.slot_eids
+    s_other = sub.slot_other
+    s_repr_order = sub.slot_repr_order
+    base = 0
+    for i in order:
+        lo = p_off[i]
+        hi = p_off[i + 1]
+        kept_ps = [p for p in range(lo, hi) if p_eids[p] in edges]
+        for p in kept_ps:
+            s_color_lids.append(p_color_lids[p])
+            s_colors.append(p_colors[p])
+            s_eids.append(p_eids[p])
+            s_other.append(new_index[p_other[p]])
+        if len(kept_ps) == hi - lo:
+            shift = base - lo
+            s_repr_order.extend(p + shift for p in p_repr_order[lo:hi])
+        elif kept_ps:
+            pos = {p: base + k for k, p in enumerate(kept_ps)}
+            s_repr_order.extend(
+                pos[p] for p in p_repr_order[lo:hi] if p in pos
+            )
+        base += len(kept_ps)
+        s_off.append(base)
+
+    p_edge_eids = parent.edge_eids
+    p_edge_ui = parent.edge_ui
+    p_edge_vi = parent.edge_vi
+    p_edge_color_lids = parent.edge_color_lids
+    s_edge_eids = sub.edge_eids
+    s_edge_ui = sub.edge_ui
+    s_edge_vi = sub.edge_vi
+    s_edge_color_lids = sub.edge_color_lids
+    for j in kept:
+        s_edge_eids.append(p_edge_eids[j])
+        s_edge_ui.append(new_index[p_edge_ui[j]])
+        s_edge_vi.append(new_index[p_edge_vi[j]])
+        s_edge_color_lids.append(p_edge_color_lids[j])
+    return sub
+
+
+def _included_edges(snap: SoASnapshot, dist: array, reach: int):
+    """Indices of edges with both ends in the ball and min distance <= reach.
+
+    Insertion order is preserved either way; the NumPy path evaluates the
+    paper's edge-distance rule as one vectorised mask over the endpoint
+    columns.
+    """
+    if snap.m >= _VECTOR_MIN_EDGES:
+        ui, vi = snap.edge_endpoint_arrays()
+        dist_np = np.frombuffer(dist, dtype=np.int64)
+        du = dist_np[ui]
+        dv = dist_np[vi]
+        keep = (du >= 0) & (dv >= 0) & (np.minimum(du, dv) <= reach)
+        return np.flatnonzero(keep).tolist()
+    edge_ui = snap.edge_ui
+    edge_vi = snap.edge_vi
+    out = []
+    for j in range(snap.m):
+        du = dist[edge_ui[j]]
+        dv = dist[edge_vi[j]]
+        if du < 0 or dv < 0:
+            continue
+        if (du if du <= dv else dv) <= reach:
+            out.append(j)
+    return out

@@ -70,8 +70,11 @@ EFFECTS = (
     "global-mutation",
 )
 
-#: the frozen attributes backing a GraphKernel (see graphs/kernel.py).
-KERNEL_INTERNALS = frozenset({"_slots", "_edges", "_acc", "_next_eid", "_digest"})
+#: the frozen attributes backing a GraphKernel (see graphs/kernel.py);
+#: ``_soa`` is the memoized columnar-snapshot slot (graphs/soa.py).
+KERNEL_INTERNALS = frozenset(
+    {"_slots", "_edges", "_acc", "_next_eid", "_digest", "_soa"}
+)
 
 #: in-place mutator methods (mirrors the frozen-mutation rule's list).
 _MUTATORS = frozenset(

@@ -183,7 +183,17 @@ class LintConfig:
             "repro.engine.faults",
         }
     )
-    kernel_modules: frozenset = frozenset({"repro.graphs.kernel"})
+    kernel_modules: frozenset = frozenset(
+        {
+            # the kernel/builder implementation itself
+            "repro.graphs.kernel",
+            # the SoA snapshot layer: memoizes columnar snapshots on the
+            # frozen kernel's dedicated ``_soa`` slot (digest-neutral)
+            "repro.graphs.soa",
+            # the interned-label table backing the kernel's digest tokens
+            "repro.graphs.labels",
+        }
+    )
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -97,6 +97,15 @@ class ECWeightAlgorithm(ABC):
     #: informational (used by benches to report round counts).
     name: str = "ec-algorithm"
 
+    #: content-addressing opt-in: a stable string identifying the algorithm's
+    #: input/output *behaviour* (bump it when the behaviour changes).  When
+    #: set, verified runs may be memoized process-wide keyed by
+    #: ``(fingerprint, graph digest)`` — sound exactly because implementations
+    #: are deterministic functions of the labelled graph.  ``None`` (the
+    #: default) disables run memoization; leave it unset for algorithms whose
+    #: behaviour depends on anything besides the input graph.
+    fingerprint: Optional[str] = None
+
     @abstractmethod
     def run_on(self, g: ECGraph) -> Dict[Node, Dict[Color, Fraction]]:
         """Evaluate on ``g``; returns ``{node: {incident colour: weight}}``."""

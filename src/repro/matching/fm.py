@@ -61,7 +61,7 @@ class FractionalMatching:
         for eid, w in self.weights.items():
             if not self.graph.has_edge_id(eid):
                 raise KeyError(f"weight given for unknown edge id {eid}")
-            clean[eid] = Fraction(w)
+            clean[eid] = w if type(w) is Fraction else Fraction(w)
         self.weights = clean
 
     # ------------------------------------------------------------------
@@ -72,8 +72,16 @@ class FractionalMatching:
         return self.weights.get(eid, ZERO)
 
     def node_load(self, v: Node) -> Fraction:
-        """``y[v]``: the sum of incident edge weights (loops count once)."""
-        return sum((self.weight(e.eid) for e in self.graph.incident_edges(v)), ZERO)
+        """``y[v]``: the sum of incident edge weights (loops count once).
+
+        Sums over the node's slot ids (:meth:`ECGraph.incident_edge_ids`)
+        without sorting or fetching edge records — Fraction addition is
+        exact, so the order of the incident edges is irrelevant.
+        """
+        weights = self.weights
+        return sum(
+            (weights.get(eid, ZERO) for eid in self.graph.incident_edge_ids(v)), ZERO
+        )
 
     def is_saturated(self, v: Node) -> bool:
         """Whether ``y[v] = 1`` exactly."""
@@ -85,7 +93,9 @@ class FractionalMatching:
 
     def total_weight(self) -> Fraction:
         """The FM's total weight ``sum_e y(e)``."""
-        return sum((self.weight(e.eid) for e in self.graph.edges()), ZERO)
+        # __post_init__ guarantees every stored key is a live edge, and
+        # missing edges weigh 0, so the stored weights alone carry the sum
+        return sum(self.weights.values(), ZERO)
 
     # ------------------------------------------------------------------
     # feasibility / maximality
@@ -175,7 +185,8 @@ def fm_from_node_outputs(
             )
         for color, w in out.items():
             e = g.edge_at(v, color)
-            w = Fraction(w)
+            if type(w) is not Fraction:
+                w = Fraction(w)
             if e.eid in weights and weights[e.eid] != w:
                 raise InconsistentOutputError(
                     f"endpoints of edge {e.eid} disagree: {weights[e.eid]} vs {w}"
@@ -188,7 +199,9 @@ def po_node_load(g: POGraph, weights: Mapping[EdgeId, Fraction], v: Node) -> Fra
     """``y[v]`` on a PO-graph: out-arcs + in-arcs; a directed loop counts twice."""
     load = ZERO
     for e in g.out_edges(v):
-        load += Fraction(weights.get(e.eid, ZERO))
+        w = weights.get(e.eid, ZERO)
+        load += w if type(w) is Fraction else Fraction(w)
     for e in g.in_edges(v):
-        load += Fraction(weights.get(e.eid, ZERO))
+        w = weights.get(e.eid, ZERO)
+        load += w if type(w) is Fraction else Fraction(w)
     return load

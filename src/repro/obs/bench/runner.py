@@ -197,11 +197,51 @@ def _run_cache_scaling(params: Dict, ctx: BenchContext) -> Tuple[Dict, List[dict
     return metrics, document_profile(cold_result.trace, warm_result.trace)[:_PROFILE_TOP]
 
 
+def _run_canonical_microbench(params: Dict, ctx: BenchContext) -> Tuple[Dict, List[dict]]:
+    """Canonicalise every root of a fixed loopy-tree batch: the isolated
+    hot path of every ball-isomorphism check, without the sweep around it.
+
+    Each timed pass starts from a cold shape-plan cache (the sweep-scale
+    benches measure the warm steady state; this one measures the build).
+    A final untimed warm pass pins the plan cache's recognition rate.
+    """
+    from ...graphs.families import random_loopy_tree
+    from ...graphs.isomorphism import canonical_form_of
+    from ...graphs.soa import plan_hit_count, reset_plan_cache
+
+    nodes = int(params.get("nodes", 24))
+    loops = int(params.get("loops", 2))
+    seeds = tuple(params.get("seeds", range(8)))
+    graphs = [random_loopy_tree(nodes, loops, seed=seed) for seed in seeds]
+
+    def canonicalise_batch() -> List[tuple]:
+        reset_plan_cache()
+        return [canonical_form_of(g, v) for g in graphs for v in g.nodes()]
+
+    median, forms = ctx.time(canonicalise_batch)
+    # warm repeat on the plan cache the last timed pass left behind: every
+    # root shape must now resolve without rebuilding its form
+    before = plan_hit_count()
+    warm_forms = [canonical_form_of(g, v) for g in graphs for v in g.nodes()]
+    warm_hits = plan_hit_count() - before
+    assert warm_forms == forms
+    digest = hashlib.sha256(repr(forms).encode("utf-8")).hexdigest()
+    metrics: Dict[str, object] = {
+        "wall_s": _round6(median),
+        "forms": len(forms),
+        "forms_sha256": digest,
+        "warm_plan_hit_rate": _round6(warm_hits / len(forms)) if forms else None,
+        "forms_per_s": _round6(len(forms) / median) if median > 0 else None,
+    }
+    return metrics, []
+
+
 #: experiment kind -> runner; suites reference kinds, never functions
 RUNNERS: Dict[str, Callable[[Dict, BenchContext], Tuple[Dict, List[dict]]]] = {
     "delta-scaling": _run_delta_scaling,
     "worker-scaling": _run_worker_scaling,
     "cache-scaling": _run_cache_scaling,
+    "canonical-microbench": _run_canonical_microbench,
 }
 
 

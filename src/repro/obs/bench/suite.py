@@ -163,6 +163,24 @@ def _cache_scaling(name: str, deltas: Tuple[int, ...]) -> Experiment:
     )
 
 
+def _canonical_microbench(name: str, nodes: int, seeds: Tuple[int, ...]) -> Experiment:
+    return Experiment(
+        name=name,
+        kind="canonical-microbench",
+        title=f"SoA canonicaliser over {len(seeds)} loopy trees of {nodes} nodes",
+        params={"nodes": nodes, "loops": 2, "seeds": seeds},
+        thresholds=(
+            Threshold("wall_s", "higher-is-worse", ratio=2.0),
+            Threshold("forms_sha256", "exact"),
+            Threshold("forms", "exact"),
+            # a warm repeat must resolve every root from the shape-plan
+            # cache — losing that is losing the plan cache itself
+            Threshold("warm_plan_hit_rate", "lower-is-worse", delta=0.02),
+            Threshold("forms_per_s", "lower-is-worse"),  # informational
+        ),
+    )
+
+
 #: the declared suites; ``smoke`` is the CI gate, ``full`` the E1-scale run
 SUITES: Dict[str, Suite] = {
     "smoke": Suite(
@@ -171,6 +189,9 @@ SUITES: Dict[str, Suite] = {
             _delta_scaling("sweep.delta_scaling", deltas=(3, 4, 5)),
             _worker_scaling("sweep.worker_scaling", deltas=(3, 4, 5), workers=(0, 2)),
             _cache_scaling("cache.hit_scaling", deltas=(3, 4)),
+            _canonical_microbench(
+                "canonical.microbench", nodes=24, seeds=(0, 1, 2, 3, 4, 5, 6, 7)
+            ),
         ),
     ),
     "full": Suite(
@@ -181,6 +202,9 @@ SUITES: Dict[str, Suite] = {
                 "sweep.worker_scaling", deltas=(3, 4, 5, 6, 7, 8), workers=(0, 2, 4)
             ),
             _cache_scaling("cache.hit_scaling", deltas=(3, 4, 5, 6)),
+            _canonical_microbench(
+                "canonical.microbench", nodes=48, seeds=tuple(range(16))
+            ),
         ),
     ),
 }

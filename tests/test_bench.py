@@ -213,6 +213,38 @@ class TestCheck:
         assert row["self_delta"] == pytest.approx(2.0)
 
 
+class TestSoAProfilePair:
+    """The committed before/after REPRO_BENCH_TRACE pair for the SoA kernel
+    core (BENCH_PROFILE_*_SOA.json): the ``adversary.iso_check`` span — the
+    one wrapping ball canonicalisation — must show both an absolute
+    self-time drop and a smaller share of the session's total self time."""
+
+    @pytest.fixture()
+    def profile_pair(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        before = json.loads((root / "BENCH_PROFILE_BEFORE_SOA.json").read_text())
+        after = json.loads((root / "BENCH_PROFILE_AFTER_SOA.json").read_text())
+        return before, after
+
+    def test_canonicalisation_self_time_dropped(self, profile_pair):
+        before, after = profile_pair
+        rows = profile_attribution(before, after, top=len(after["profile"]))
+        iso = next(row for row in rows if row["name"] == "adversary.iso_check")
+        assert iso["calls"] == iso["baseline_calls"]  # same work, faster
+        assert iso["self_delta"] < 0
+        assert iso["self"] < 0.8 * iso["baseline_self"]
+
+    def test_canonicalisation_share_of_self_time_dropped(self, profile_pair):
+        before, after = profile_pair
+        rows = profile_attribution(before, after, top=len(after["profile"]))
+        total_after = sum(row["self"] for row in rows)
+        total_before = sum(r["self"] for r in before["profile"])
+        iso = next(row for row in rows if row["name"] == "adversary.iso_check")
+        assert iso["self"] / total_after < iso["baseline_self"] / total_before
+
+
 def tiny_suite() -> Suite:
     """One fast delta-scaling experiment — real sweeps, sub-second."""
     return Suite(
@@ -238,6 +270,7 @@ class TestSuites:
         smoke = suite_named("smoke")
         assert {e.kind for e in smoke.experiments} == {
             "delta-scaling", "worker-scaling", "cache-scaling",
+            "canonical-microbench",
         }
         assert suite_named("full").name == "full"
 

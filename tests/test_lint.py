@@ -326,6 +326,64 @@ class TestWorkerExemption:
         )
 
 
+KERNEL_TOUCHING = """
+def attach(kernel, snap):
+    object.__setattr__(kernel, "_soa", snap)
+"""
+
+
+class TestKernelExemption:
+    """The SoA snapshot/label layers are sanctioned kernel modules — only those.
+
+    Frozen kernels are immutable everywhere else, so like the clock and
+    worker exemptions this one is surgical: it masks the kernel-mutation
+    effect for exactly the modules in ``LintConfig.kernel_modules`` (the
+    kernel/builder implementation, the columnar snapshot layer that memoizes
+    onto the kernel's dedicated ``_soa`` slot, and the interned-label table
+    backing the digest tokens).
+    """
+
+    def test_soa_and_labels_are_sanctioned_by_config(self):
+        assert "repro.graphs.soa" in DEFAULT_CONFIG.kernel_modules
+        assert "repro.graphs.labels" in DEFAULT_CONFIG.kernel_modules
+        assert lint_source(KERNEL_TOUCHING, module="repro.graphs.soa") == []
+        assert lint_source(KERNEL_TOUCHING, module="repro.graphs.labels") == []
+
+    def test_other_modules_still_flag_kernel_mutation(self):
+        findings = lint_source(KERNEL_TOUCHING, module="repro.core.adversary")
+        assert rules_of(findings) == ["kernel-escape"]
+
+    def test_soa_snapshot_slot_is_a_kernel_internal(self):
+        # the memoized snapshot slot counts as a frozen attribute: forging
+        # it from outside the sanctioned modules is a kernel escape
+        from repro.lint.effects import KERNEL_INTERNALS
+
+        assert "_soa" in KERNEL_INTERNALS
+
+    def test_unsanctioning_soa_flags_the_snapshot_memo(self):
+        # with the exemption narrowed back to the kernel module alone, the
+        # snapshot layer's memo writes surface as kernel-escape findings
+        from dataclasses import replace
+
+        strict = replace(
+            DEFAULT_CONFIG, kernel_modules=frozenset({"repro.graphs.kernel"})
+        )
+        findings = lint_paths([SRC], config=strict, select=["kernel-escape"])
+        offenders = {f.path for f in findings}
+        assert str(SRC / "repro" / "graphs" / "soa.py") in offenders
+
+    def test_sanctioned_kernel_set_is_exactly_declared(self):
+        # same exact-set discipline as the clock and worker exemptions:
+        # growing the kernel implementation must grow this assertion
+        assert DEFAULT_CONFIG.kernel_modules == frozenset(
+            {
+                "repro.graphs.kernel",
+                "repro.graphs.soa",
+                "repro.graphs.labels",
+            }
+        )
+
+
 # ---------------------------------------------------------------------------
 # rule: exact-arith
 # ---------------------------------------------------------------------------

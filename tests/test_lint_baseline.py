@@ -206,11 +206,16 @@ class TestLintCli:
 
     def test_effects_report(self, capsys):
         assert main(
-            ["lint", str(SRC), "--effects", "repro.graphs.kernel._label_bytes"]
+            [
+                "lint",
+                str(SRC),
+                "--effects",
+                "repro.graphs.isomorphism.install_canonical_cache",
+            ]
         ) == 0
         out = capsys.readouterr().out
         assert "raw direct effects" in out
-        assert "global-mutation" in out  # the sanctioned memo writes
+        assert "global-mutation" in out  # the sanctioned cache-global rebind
 
     def test_effects_unknown_function(self, capsys):
         assert main(["lint", str(SRC), "--effects", "repro.nope.f"]) == 2
