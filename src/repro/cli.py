@@ -29,6 +29,11 @@ Subcommands (``python -m repro <subcommand> --help`` for details):
 * ``serve``     — run one socket-backend shard server; point a sweep at it
                   (possibly on another host) with
                   ``sweep --backend socket --hosts HOST:PORT,...``;
+* ``serve-api`` — run the sweep-as-a-service HTTP/JSON job server
+                  (``repro.service``): queued GridSpec submissions over
+                  ``POST /v1/jobs``, multi-tenant canonical-form caching,
+                  per-job progress streaming and 429 backpressure
+                  (``docs/service.md``);
 * ``verify``    — test a claimed round count through the ``repro.api``
                   facade, optionally stacking a Section 5 chain; or, with
                   ``--store DIR``, replay a finished sweep store's rows
@@ -514,6 +519,86 @@ def build_parser() -> argparse.ArgumentParser:
         "interrupted)",
     )
 
+    serve_api = sub.add_parser(
+        "serve-api",
+        help="run the sweep-as-a-service HTTP/JSON job server "
+        "(POST /v1/jobs; see docs/service.md)",
+    )
+    serve_api.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; 0.0.0.0 to serve other "
+        "hosts)",
+    )
+    serve_api.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0: an OS-assigned free port, printed "
+        "on startup)",
+    )
+    serve_api.add_argument(
+        "--data-dir",
+        default="service-data",
+        metavar="DIR",
+        help="root for job artifacts (jobs/<id>/ stores, progress JSONL) "
+        "and, unless --cache-dir is set, the tenant caches "
+        "(default service-data)",
+    )
+    serve_api.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="base of the multi-tenant canonical-form cache "
+        "(tenants/<name>/ + shared/; default DATA_DIR/cache)",
+    )
+    serve_api.add_argument(
+        "--no-shared-cache",
+        action="store_true",
+        help="disable the read-through shared cache tier (tenants stay "
+        "fully isolated, no cross-tenant dedup)",
+    )
+    serve_api.add_argument(
+        "--disk-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget per cache tier directory; oldest-used entries "
+        "are evicted past it (default: never evict)",
+    )
+    serve_api.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="bounded job queue depth; submissions past it get 429 + "
+        "Retry-After (default 16)",
+    )
+    serve_api.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads draining the job queue (default 1; jobs in "
+        "one process serialise on the engine's ambient hooks anyway)",
+    )
+    serve_api.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="PER_SECOND",
+        help="per-tenant submission rate limit in jobs/second "
+        "(default 0: unlimited)",
+    )
+    serve_api.add_argument(
+        "--burst",
+        type=int,
+        default=4,
+        metavar="N",
+        help="per-tenant burst allowance for --rate (default 4)",
+    )
+    add_common_options(serve_api, execution=True)
+
     ver = sub.add_parser(
         "verify",
         help="verify a claimed round count through the repro.api facade, "
@@ -867,6 +952,41 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_api(args) -> int:
+    """Run the sweep-as-a-service HTTP job server until interrupted."""
+    from .service import ServiceConfig, ServiceServer, SweepService
+
+    options = _execution_options(args)
+    config = ServiceConfig(
+        data_dir=Path(args.data_dir),
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        shared_cache=not args.no_shared_cache,
+        disk_budget=args.disk_budget,
+        queue_size=args.queue_size,
+        job_workers=args.job_workers,
+        rate=args.rate,
+        burst=args.burst,
+        sweep_options=options.engine_kwargs(),
+    )
+    try:
+        server = ServiceServer(SweepService(config), host=args.host, port=args.port)
+    except ValueError as error:
+        raise SystemExit(f"repro serve-api: {error}") from None
+    host, port = server.address
+    print(f"sweep service listening on http://{host}:{port}/v1/", flush=True)
+    print(
+        f"submit with: curl -X POST http://{host}:{port}/v1/jobs "
+        "-H 'X-Repro-Tenant: NAME' -d '{\"grid\": {\"deltas\": [3, 4]}}'",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print("sweep service stopped")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     import json as json_
 
@@ -922,6 +1042,26 @@ def _cmd_sweep(args) -> int:
         print(f"results under {args.out} (summary.json, trace.json, shard-*.jsonl)")
     if progress_path is not None:
         print(f"progress events: {progress_path} ({progress.events} event(s))")
+    # the gate verdict is computed before the JSON payload is emitted so
+    # --json consumers always see a machine-readable account — including
+    # the 0-lookup case, where "hit_rate": null states explicitly that the
+    # floor was not applied (it used to be text-only with exit 0)
+    gate = None
+    if args.min_hit_rate is not None:
+        if result.cache.lookups == 0:
+            gate = {
+                "min_hit_rate": args.min_hit_rate,
+                "hit_rate": None,
+                "applied": False,
+                "passed": None,
+            }
+        else:
+            gate = {
+                "min_hit_rate": args.min_hit_rate,
+                "hit_rate": result.cache.hit_rate,
+                "applied": True,
+                "passed": result.cache.hit_rate >= args.min_hit_rate,
+            }
     if args.json is not None:
         payload = {
             "grid": grid.as_dict(),
@@ -932,9 +1072,11 @@ def _cmd_sweep(args) -> int:
             "recovery": result.recovery,
             "rows": list(result.rows),
         }
+        if gate is not None:
+            payload["hit_rate_gate"] = gate
         _emit_json(args, json_.dumps(payload, sort_keys=True))
     refuted = sum(1 for row in result.rows if row["status"] == "refuted")
-    if args.min_hit_rate is not None:
+    if gate is not None:
         # interned-plan reuse is reported alongside the rate but never
         # gated: a plan hit is a cheap compute under a miss, not a lookup
         if result.cache.misses:
@@ -944,14 +1086,14 @@ def _cmd_sweep(args) -> int:
             )
         else:
             print("interned-plan reuse: n/a (0 canonicalisation misses)")
-        if result.cache.lookups == 0:
+        if not gate["applied"]:
             # no lookups (e.g. --no-cache, or a grid whose cells never
             # canonicalise): a rate floor is meaningless, not a failure
             print(
                 f"canonical-cache hit rate n/a (0 lookups; "
                 f"--min-hit-rate {args.min_hit_rate:.3f} not applied)"
             )
-        elif result.cache.hit_rate < args.min_hit_rate:
+        elif not gate["passed"]:
             print(
                 f"canonical-cache hit rate {result.cache.hit_rate:.3f} below required "
                 f"{args.min_hit_rate:.3f} "
@@ -1143,6 +1285,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
+        "serve-api": _cmd_serve_api,
         "bench": _cmd_bench,
         "verify": _cmd_verify,
     }

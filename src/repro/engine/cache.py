@@ -36,8 +36,9 @@ import hashlib
 import itertools
 import json
 import os
+import re
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Callable, Hashable, Optional, Tuple
 
@@ -58,10 +59,27 @@ __all__ = [
     "graph_digest",
     "encode_form",
     "decode_form",
+    "validate_tenant",
 ]
 
 CACHE_FORMAT = "repro-canonical-cache-v1"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: tenant names become directory components; keep them boring on purpose
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_tenant(name: str) -> str:
+    """Return ``name`` if it is a safe tenant identifier, else raise.
+
+    Tenant names become cache directory components, so the alphabet is a
+    conservative filename subset (no separators, no leading dot).
+    """
+    if not _TENANT_RE.match(name):
+        raise ValueError(
+            f"invalid cache tenant {name!r}: want {_TENANT_RE.pattern}"
+        )
+    return name
 
 #: process-local id sequence making concurrent temp-file names unique even
 #: when a watchdog-abandoned thread and its retry write the same key
@@ -126,6 +144,8 @@ class CacheStats:
     disk_corrupt: int = 0
     disk_errors: int = 0
     plan_hits: int = 0
+    shared_hits: int = 0
+    disk_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -136,34 +156,28 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "disk_hits": self.disk_hits,
-            "disk_corrupt": self.disk_corrupt,
-            "disk_errors": self.disk_errors,
-            "plan_hits": self.plan_hits,
-            "lookups": self.lookups,
-            "hit_rate": self.hit_rate,
-        }
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["lookups"] = self.lookups
+        payload["hit_rate"] = self.hit_rate
+        return payload
 
     @classmethod
     def merged(cls, dicts) -> "CacheStats":
         """Aggregate several ``as_dict`` payloads (one per worker).
 
-        Every counter reads through ``.get(key, 0)`` so payloads written by
-        older workers (without ``plan_hits``) merge cleanly.
+        The merge iterates the dataclass's *declared* fields rather than a
+        hand-maintained key list: adding a counter can no longer silently
+        drop it from merged totals (``plan_hits`` once was).  Counters a
+        payload lacks — snapshots written by older workers — default to 0,
+        so the merge is total-preserving and associative: merging partial
+        merges equals merging the underlying payloads in one pass.
         """
         total = cls()
         for d in dicts:
-            total.hits += d.get("hits", 0)
-            total.misses += d.get("misses", 0)
-            total.evictions += d.get("evictions", 0)
-            total.disk_hits += d.get("disk_hits", 0)
-            total.disk_corrupt += d.get("disk_corrupt", 0)
-            total.disk_errors += d.get("disk_errors", 0)
-            total.plan_hits += d.get("plan_hits", 0)
+            if isinstance(d, CacheStats):
+                d = d.as_dict()
+            for f in fields(cls):
+                setattr(total, f.name, getattr(total, f.name) + d.get(f.name, 0))
         return total
 
 
@@ -175,19 +189,38 @@ class CanonicalFormCache:
     ----------
     maxsize:
         In-memory LRU capacity; the least-recently-used entry is evicted
-        on overflow.  Disk entries are never evicted.
+        on overflow.
     directory:
         On-disk store location; ``None`` consults ``$REPRO_CACHE_DIR`` and
         disables the disk tier when that is unset too.
     use_disk:
         Set to ``False`` to force a memory-only cache even when a directory
         (or ``$REPRO_CACHE_DIR``) is available.
+    tenant:
+        Namespaces the disk tier: with a tenant name the entries live under
+        ``directory/tenants/<tenant>/`` so co-hosted clients cannot read or
+        evict each other's private entries.  Names are restricted to a safe
+        directory-component alphabet.
+    shared_dir:
+        Optional read-through shared tier.  Lookups that miss the tenant
+        tier consult it (counted as ``shared_hits``) and promote the entry
+        into the tenant tier; every write also populates it, so concurrent
+        tenants dedupe canonicalisation globally while eviction pressure
+        stays per-tenant.
+    disk_budget:
+        Per-directory byte budget for the disk tiers.  After every write
+        the oldest-used entries (disk hits refresh recency) are evicted
+        until the directory fits, counted in ``disk_evictions``.  ``None``
+        keeps the historical never-evict behaviour.
     """
 
     maxsize: int = 4096
     directory: Optional[Path] = None
     use_disk: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
+    tenant: Optional[str] = None
+    shared_dir: Optional[Path] = None
+    disk_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.directory is None:
@@ -195,10 +228,20 @@ class CanonicalFormCache:
             self.directory = Path(env) if env else None
         else:
             self.directory = Path(self.directory)
+        if self.tenant is not None:
+            validate_tenant(self.tenant)
+        if self.disk_budget is not None and self.disk_budget <= 0:
+            raise ValueError(f"disk_budget must be positive, got {self.disk_budget}")
+        if self.directory and self.tenant:
+            self.directory = self.directory / "tenants" / self.tenant
+        self.shared_dir = Path(self.shared_dir) if self.shared_dir else None
         if not self.use_disk:
             self.directory = None
+            self.shared_dir = None
         if self.directory:
             self.directory.mkdir(parents=True, exist_ok=True)
+        if self.shared_dir:
+            self.shared_dir.mkdir(parents=True, exist_ok=True)
         self._lru: "OrderedDict[str, Any]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -241,16 +284,30 @@ class CanonicalFormCache:
         if key in self._lru:
             self._lru.move_to_end(key)
             return True, self._lru[key]
-        form = self._disk_get(key)
+        form = self._disk_get(self.directory, key)
         if form is not None:
             self.stats.disk_hits += 1
             self._lru_store(key, form)
             return True, form
+        if self.shared_dir is not None:
+            form = self._disk_get(self.shared_dir, key)
+            if form is not None:
+                # read-through: a hit on the shared tier is promoted into
+                # the tenant tier (and the LRU) so this tenant's next
+                # process answers locally
+                self.stats.shared_hits += 1
+                current_tracer().metrics.counter(
+                    "engine.canonical_cache", outcome="shared_hit"
+                ).inc()
+                self._lru_store(key, form)
+                self._disk_put(self.directory, key, form)
+                return True, form
         return False, None
 
     def _put(self, key: str, form: Any) -> None:
         self._lru_store(key, form)
-        self._disk_put(key, form)
+        self._disk_put(self.directory, key, form)
+        self._disk_put(self.shared_dir, key, form)
 
     def _lru_store(self, key: str, form: Any) -> None:
         self._lru[key] = form
@@ -259,13 +316,10 @@ class CanonicalFormCache:
             self._lru.popitem(last=False)
             self.stats.evictions += 1
 
-    def _disk_path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
-
-    def _disk_get(self, key: str) -> Optional[Any]:
-        if not self.directory:
+    def _disk_get(self, directory: Optional[Path], key: str) -> Optional[Any]:
+        if not directory:
             return None
-        path = self._disk_path(key)
+        path = directory / f"{key}.json"
         try:
             injector = active_injector()
             if injector is not None:
@@ -276,7 +330,15 @@ class CanonicalFormCache:
                 raise ValueError("malformed cache entry")
             if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
                 raise ValueError("foreign or stale cache entry")
-            return decode_form(payload["form"])
+            form = decode_form(payload["form"])
+            if self.disk_budget is not None:
+                # budgeted tiers evict by recency of *use*, not of write:
+                # refresh the entry's timestamp so a hot key survives
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
+            return form
         except FileNotFoundError:
             return None
         except OSError:
@@ -292,10 +354,10 @@ class CanonicalFormCache:
             current_tracer().metrics.counter("engine.cache_fault", outcome="corrupt").inc()
             return None
 
-    def _disk_put(self, key: str, form: Any) -> None:
-        if not self.directory:
+    def _disk_put(self, directory: Optional[Path], key: str, form: Any) -> None:
+        if not directory:
             return
-        path = self._disk_path(key)
+        path = directory / f"{key}.json"
         # a per-writer temp name: two processes (or a watchdog-abandoned
         # thread) rewriting the same entry must never share a temp file, or
         # their writes interleave before the replace
@@ -318,6 +380,45 @@ class CanonicalFormCache:
             self.stats.disk_errors += 1
             current_tracer().metrics.counter("engine.cache_fault", outcome="io_error").inc()
             tmp.unlink(missing_ok=True)
+            return
+        self._enforce_budget(directory, keep=path.name)
+
+    def _enforce_budget(self, directory: Path, keep: str) -> None:
+        """Evict oldest-used entries until ``directory`` fits the budget.
+
+        The entry named ``keep`` (the one just written) is never evicted:
+        a budget smaller than a single form must not make the cache churn
+        its own write.  Eviction races between concurrent writers are
+        benign — losing a file mid-scan is just an already-evicted entry.
+        """
+        if self.disk_budget is None:
+            return
+        try:
+            entries = []
+            for path in directory.glob("*.json"):
+                try:
+                    status = path.stat()
+                except OSError:
+                    continue
+                entries.append((status.st_mtime, path.name, path, status.st_size))
+        except OSError:
+            return
+        total = sum(size for _, _, _, size in entries)
+        entries.sort()
+        for _, name, path, size in entries:
+            if total <= self.disk_budget:
+                break
+            if name == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.stats.disk_evictions += 1
+            current_tracer().metrics.counter(
+                "engine.canonical_cache", outcome="disk_evict"
+            ).inc()
 
     def __len__(self) -> int:
         return len(self._lru)

@@ -207,7 +207,14 @@ def run_shard(payload: dict, on_row=None) -> Tuple[int, List[dict], dict, dict]:
         else None
     )
     tracer = Tracer()
-    cache = CanonicalFormCache(directory=payload["cache_dir"])
+    # tenancy keys read through .get(): payloads from older coordinators
+    # (or replayed fixtures) without them still execute unchanged
+    cache = CanonicalFormCache(
+        directory=payload["cache_dir"],
+        tenant=payload.get("cache_tenant"),
+        shared_dir=payload.get("shared_cache_dir"),
+        disk_budget=payload.get("cache_disk_budget"),
+    )
     rows: List[dict] = []
     with _AMBIENT_LOCK:
         with use_tracer(tracer), use_faults(injector):
@@ -248,6 +255,9 @@ def shard_payloads(
     cell_timeout: Optional[float],
     retries: int,
     in_worker: bool,
+    cache_tenant: Optional[str] = None,
+    shared_cache_dir=None,
+    cache_disk_budget: Optional[int] = None,
 ) -> List[dict]:
     """JSON-ready payload dicts for one round of shards.
 
@@ -266,6 +276,9 @@ def shard_payloads(
             "cell_timeout": cell_timeout,
             "retries": retries,
             "in_worker": in_worker,
+            "cache_tenant": cache_tenant,
+            "shared_cache_dir": str(shared_cache_dir) if shared_cache_dir else None,
+            "cache_disk_budget": cache_disk_budget,
         }
         for index, bucket in enumerate(shards)
     ]

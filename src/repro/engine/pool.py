@@ -124,6 +124,9 @@ def run_sweep(
     memory_budget: Optional[int] = None,
     out_dir=None,
     cache_dir=None,
+    cache_tenant: Optional[str] = None,
+    cache_shared_dir=None,
+    cache_disk_budget: Optional[int] = None,
     use_cache: bool = True,
     resume: bool = False,
     tracer=None,
@@ -166,6 +169,18 @@ def run_sweep(
     cache_dir:
         On-disk canonical-form store shared by all workers; defaults to
         ``$REPRO_CACHE_DIR`` when set (workers always get an in-memory LRU).
+    cache_tenant:
+        Namespace the disk cache under ``cache_dir/tenants/<tenant>/`` —
+        the multi-tenant discipline the sweep service uses so co-hosted
+        clients cannot evict each other (see ``docs/service.md``).
+    cache_shared_dir:
+        Read-through shared cache tier consulted after a tenant-tier miss
+        and populated by every write, so concurrent sweeps dedupe
+        canonicalisation globally (hits are counted as ``shared_hits``).
+    cache_disk_budget:
+        Per-directory byte budget for the on-disk cache tiers; the
+        oldest-used entries are evicted past it (``disk_evictions``).
+        ``None`` (default) never evicts from disk.
     use_cache:
         ``False`` disables canonical-form memoization entirely.
     resume:
@@ -242,7 +257,7 @@ def run_sweep(
 
     monitor = None
     if parallel and store is not None and not isinstance(progress, NullProgressEmitter):
-        monitor = _ProgressMonitor(progress, store)
+        monitor = _ProgressMonitor(progress, store, total=len(cells))
 
     progress.start(total=len(cells), resumed=len(done))
     if monitor is not None:
@@ -275,6 +290,9 @@ def run_sweep(
                         shards, store, cache_dir, use_cache, plan, round_,
                         cell_timeout, retries,
                         in_worker=parallel_round and active.capabilities.separate_process,
+                        cache_tenant=cache_tenant,
+                        shared_cache_dir=cache_shared_dir,
+                        cache_disk_budget=cache_disk_budget,
                     )
                     ctx = ExecutorContext(
                         workers=workers,
@@ -311,7 +329,10 @@ def run_sweep(
                     # the dead shard had already flushed every cell it owed
                     break
                 if round_ >= max_restarts:
-                    _abort_sweep(store, spec, done, collected, stats_dicts, workers, recovery, failures)
+                    _abort_sweep(
+                        store, spec, done, collected, stats_dicts, workers,
+                        recovery, failures, progress,
+                    )
                 recovery["restarts"] += 1
                 recovery["reassigned"] += len(remaining)
                 tracer.metrics.counter("engine.sweep_restart").inc()
@@ -381,16 +402,20 @@ class _ProgressMonitor:
 
     The driver cannot observe remote rows directly (shards only report
     back when they finish), so parallel-round heartbeats poll the result
-    store's cheap line count — what the workers have flushed so far.  The
-    counts are an approximation refined by the exact ``final`` event; the
-    emitter clamps them to the sweep total.  The thread target is a bound
-    method touching only instance state, the engine-concurrency lint's
-    sanctioned shape.
+    store's cheap line count — what the workers have flushed so far.  That
+    count can legitimately *exceed* the sweep's cell total (torn lines and
+    duplicate cells from a recovered worker both count as lines), so the
+    monitor clamps it to the cell total itself rather than trusting every
+    emitter to: a heartbeat must never report ``done > total``.  The
+    counts remain an approximation refined by the exact ``final`` event.
+    The thread target is a bound method touching only instance state, the
+    engine-concurrency lint's sanctioned shape.
     """
 
-    def __init__(self, progress, store: ResultStore):
+    def __init__(self, progress, store: ResultStore, total: int):
         self._progress = progress
         self._store = store
+        self._total = total
         self._stop_event = threading.Event()
         self._thread = threading.Thread(
             target=self._poll, daemon=True, name="sweep-progress"
@@ -399,10 +424,14 @@ class _ProgressMonitor:
     def start(self) -> None:
         self._thread.start()
 
+    def tick(self) -> None:
+        """One clamped heartbeat from the store's line count."""
+        self._progress.update(min(self._store.count_rows(), self._total))
+
     def _poll(self) -> None:
         interval = max(0.05, float(self._progress.interval))
         while not self._stop_event.wait(interval):
-            self._progress.update(self._store.count_rows())
+            self.tick()
 
     def stop(self) -> None:
         self._stop_event.set()
@@ -431,7 +460,10 @@ def _dedup_rows(done: Dict[str, dict], collected: Dict[str, dict]) -> List[dict]
     return list(merged.values())
 
 
-def _abort_sweep(store, spec, done, collected, stats_dicts, workers, recovery, failures) -> None:
+def _abort_sweep(
+    store, spec, done, collected, stats_dicts, workers, recovery, failures,
+    progress=NULL_PROGRESS,
+) -> None:
     """Give up after the restart budget: record the damage, raise named."""
     records = []
     first_error: Optional[BaseException] = None
@@ -447,15 +479,27 @@ def _abort_sweep(store, spec, done, collected, stats_dicts, workers, recovery, f
                     records.append(
                         {**cell.as_dict(), "key": cell.key, "error": f"{type(exc).__name__}: {exc}"}
                     )
+    rows = sorted(_dedup_rows(done, collected), key=lambda row: row.get("key", ""))
+    stats = CacheStats.merged(stats_dicts)
     if store is not None:
         store.write_summary(
             spec.as_dict(),
-            sorted(_dedup_rows(done, collected), key=lambda row: row.get("key", "")),
-            cache_stats=CacheStats.merged(stats_dicts).as_dict(),
+            rows,
+            cache_stats=stats.as_dict(),
             workers=workers,
             failed=records,
             recovery=recovery,
         )
+    # the sweep *completed* with failures recorded, it did not vanish: emit
+    # the exact final event (done == surviving rows, failed == records)
+    # before raising, so an all-cells-failed sweep still closes its
+    # lifecycle with `final` rather than a bare `aborted`
+    progress.finish(
+        done=len(rows),
+        failed=len(records),
+        cache_hits=stats.hits,
+        cache_lookups=stats.lookups,
+    )
     if isinstance(first_error, CellExecutionError):
         raise first_error
     keys = ", ".join(sorted(record["key"] for record in records)) or "?"

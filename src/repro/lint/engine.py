@@ -150,6 +150,9 @@ class LintConfig:
             # (defaulting to perf_counter) and only ever report durations.
             "repro.obs.progress",
             "repro.obs.bench.runner",
+            # service jobs: the token-bucket rate limiter's injected clock
+            # (defaulting to monotonic) feeds only admission control
+            "repro.service.jobs",
         }
     )
     worker_modules: frozenset = frozenset(
@@ -162,6 +165,10 @@ class LintConfig:
             "repro.engine.executors.process",
             # loopback server threads + the per-host client fan-out
             "repro.engine.executors.sockets",
+            # the sweep service's queue-drain worker threads
+            "repro.service.jobs",
+            # the threading HTTP front-end over the sweep service
+            "repro.service.server",
         }
     )
     exact_scopes: Tuple[str, ...] = ("repro.matching", "repro.core")

@@ -164,6 +164,51 @@ class TestSweep:
         assert "n/a" in out
         assert "not applied" in out
 
+    @staticmethod
+    def _json_payload(out: str) -> dict:
+        return json.loads(next(line for line in out.splitlines() if line.startswith("{")))
+
+    def test_min_hit_rate_gate_is_structured_in_json(self, capsys):
+        code = main(["sweep", "--smoke", "--min-hit-rate", "0.1", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        gate = self._json_payload(out)["hit_rate_gate"]
+        assert gate["applied"] is True and gate["passed"] is True
+        assert gate["min_hit_rate"] == 0.1
+        assert gate["hit_rate"] > 0.1
+        # the human line still prints alongside the JSON
+        assert "canonical-cache hit rate" in out
+
+    def test_min_hit_rate_gate_json_null_on_zero_lookups(self, capsys):
+        # the n/a branch must be machine-readable too: hit_rate is an
+        # explicit null, applied/passed say the floor never ran
+        code = main(
+            ["sweep", "--smoke", "--no-cache", "--min-hit-rate", "0.5", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        gate = self._json_payload(out)["hit_rate_gate"]
+        assert gate == {
+            "min_hit_rate": 0.5,
+            "hit_rate": None,
+            "applied": False,
+            "passed": None,
+        }
+        assert "n/a" in out  # the text path keeps its account
+
+    def test_min_hit_rate_gate_json_violated(self, capsys):
+        code = main(["sweep", "--smoke", "--min-hit-rate", "1.01", "--json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        gate = self._json_payload(out)["hit_rate_gate"]
+        assert gate["applied"] is True and gate["passed"] is False
+
+    def test_json_without_floor_has_no_gate_field(self, capsys):
+        code = main(["sweep", "--smoke", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hit_rate_gate" not in self._json_payload(out)
+
     def test_faults_plan_replayed(self, tmp_path, capsys):
         from repro.engine import Fault, FaultPlan
 

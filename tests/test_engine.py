@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.engine import (
+    CacheStats,
     CanonicalFormCache,
     Cell,
     GridSpec,
@@ -18,7 +19,7 @@ from repro.engine import (
     run_sweep,
     smoke_grid,
 )
-from repro.engine.cache import CACHE_FORMAT, decode_form, encode_form
+from repro.engine.cache import CACHE_FORMAT, decode_form, encode_form, validate_tenant
 from repro.graphs.families import path_graph
 from repro.graphs.isomorphism import canonical_rooted_form, use_canonical_cache
 from repro.graphs.multigraph import ECGraph
@@ -128,6 +129,127 @@ class TestCanonicalFormCache:
             canonical_form_of(g1, "a")
             canonical_form_of(g2, "a")
         assert cache.stats.hits == 1
+
+
+class TestMultiTenantCache:
+    """Tenant namespacing, the read-through shared tier, disk budgets."""
+
+    def test_tenant_namespaces_the_disk_tier(self, tmp_path):
+        g1, _ = loopy_pair()
+        cache = CanonicalFormCache(directory=tmp_path, tenant="alice")
+        cache.canonical_form(g1, "a", canonical_rooted_form)
+        key = graph_digest(g1, "a")
+        assert (tmp_path / "tenants" / "alice" / f"{key}.json").exists()
+        assert not (tmp_path / f"{key}.json").exists()
+
+    def test_tenants_do_not_see_each_other(self, tmp_path):
+        g1, _ = loopy_pair()
+        alice = CanonicalFormCache(directory=tmp_path, tenant="alice")
+        alice.canonical_form(g1, "a", canonical_rooted_form)
+        bob = CanonicalFormCache(directory=tmp_path, tenant="bob")
+        bob.canonical_form(g1, "a", canonical_rooted_form)
+        assert bob.stats.misses == 1
+        assert bob.stats.disk_hits == 0 and bob.stats.shared_hits == 0
+
+    def test_bad_tenant_name_rejected(self, tmp_path):
+        for name in ("", "../escape", "a/b", ".hidden", "x" * 65):
+            with pytest.raises(ValueError):
+                validate_tenant(name)
+            with pytest.raises(ValueError):
+                CanonicalFormCache(directory=tmp_path, tenant=name)
+
+    def test_shared_tier_read_through(self, tmp_path):
+        g1, _ = loopy_pair()
+        shared = tmp_path / "shared"
+        alice = CanonicalFormCache(directory=tmp_path, tenant="alice", shared_dir=shared)
+        alice.canonical_form(g1, "a", canonical_rooted_form)
+        key = graph_digest(g1, "a")
+        # alice's miss populated both her tier and the shared tier
+        assert (shared / f"{key}.json").exists()
+        bob = CanonicalFormCache(directory=tmp_path, tenant="bob", shared_dir=shared)
+        bob.canonical_form(g1, "a", canonical_rooted_form)
+        assert bob.stats.hits == 1 and bob.stats.shared_hits == 1
+        # read-through: the shared hit was promoted into bob's tenant tier
+        assert (tmp_path / "tenants" / "bob" / f"{key}.json").exists()
+        third = CanonicalFormCache(directory=tmp_path, tenant="bob", shared_dir=shared)
+        third.canonical_form(g1, "a", canonical_rooted_form)
+        assert third.stats.disk_hits == 1 and third.stats.shared_hits == 0
+
+    def test_disk_budget_evicts_oldest_used(self, tmp_path):
+        import os
+
+        cache = CanonicalFormCache(directory=tmp_path, disk_budget=1)
+        for n in (2, 3, 4):
+            cache.canonical_form(path_graph(n), 0, canonical_rooted_form)
+            # distinct mtimes even on coarse-grained filesystems
+            for index, path in enumerate(sorted(tmp_path.glob("*.json"))):
+                os.utime(path, (index, index))
+        # a 1-byte budget keeps only the just-written entry per put
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert cache.stats.disk_evictions == 2
+        stats = cache.stats.as_dict()
+        assert stats["disk_evictions"] == 2 and "shared_hits" in stats
+
+    def test_disk_budget_never_evicts_the_fresh_write(self, tmp_path):
+        g1, _ = loopy_pair()
+        cache = CanonicalFormCache(directory=tmp_path, disk_budget=1)
+        cache.canonical_form(g1, "a", canonical_rooted_form)
+        key = graph_digest(g1, "a")
+        # the single entry exceeds the budget yet survives
+        assert (tmp_path / f"{key}.json").exists()
+        assert cache.stats.disk_evictions == 0
+
+    def test_budget_requires_positive_bytes(self, tmp_path):
+        with pytest.raises(ValueError):
+            CanonicalFormCache(directory=tmp_path, disk_budget=0)
+
+    def test_sweep_second_tenant_hits_shared_tier(self, tmp_path):
+        grid = GridSpec(algorithms=("greedy",), deltas=(3,))
+        base = tmp_path / "cache"
+        shared = base / "shared"
+        first = run_sweep(
+            grid, cache_dir=base, cache_tenant="alice", cache_shared_dir=shared
+        )
+        second = run_sweep(
+            grid, cache_dir=base, cache_tenant="bob", cache_shared_dir=shared
+        )
+        assert first.cache.shared_hits == 0
+        assert second.cache.shared_hits > 0
+        assert json.dumps(first.rows, sort_keys=True) == json.dumps(
+            second.rows, sort_keys=True
+        )
+
+
+class TestCacheStatsMerge:
+    """The total-preserving merge over declared dataclass fields."""
+
+    def test_merge_defaults_missing_counters_to_zero(self):
+        # a pre-plan_hits worker snapshot must not poison the totals
+        old_snapshot = {"hits": 3, "misses": 1}
+        merged = CacheStats.merged([old_snapshot, CacheStats(plan_hits=2).as_dict()])
+        assert merged.hits == 3 and merged.misses == 1 and merged.plan_hits == 2
+
+    def test_merge_preserves_every_declared_counter(self):
+        from dataclasses import fields
+
+        one = CacheStats(**{f.name: i + 1 for i, f in enumerate(fields(CacheStats))})
+        two = CacheStats(**{f.name: 10 * (i + 1) for i, f in enumerate(fields(CacheStats))})
+        merged = CacheStats.merged([one.as_dict(), two.as_dict()])
+        for f in fields(CacheStats):
+            assert getattr(merged, f.name) == getattr(one, f.name) + getattr(two, f.name)
+
+    def test_merge_is_associative(self):
+        a = CacheStats(hits=5, misses=2, plan_hits=1, shared_hits=4)
+        b = {"hits": 1, "misses": 7}  # an older snapshot without new counters
+        c = CacheStats(disk_hits=3, disk_evictions=2, evictions=1)
+        left = CacheStats.merged([CacheStats.merged([a.as_dict(), b]).as_dict(), c.as_dict()])
+        right = CacheStats.merged([a.as_dict(), CacheStats.merged([b, c.as_dict()]).as_dict()])
+        flat = CacheStats.merged([a.as_dict(), b, c.as_dict()])
+        assert left.as_dict() == right.as_dict() == flat.as_dict()
+
+    def test_merge_accepts_stats_instances(self):
+        merged = CacheStats.merged([CacheStats(hits=2), {"hits": 3}])
+        assert merged.hits == 5
 
 
 class TestGrid:

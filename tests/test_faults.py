@@ -279,9 +279,9 @@ cache = CanonicalFormCache(directory=directory)
 key = "contested-key"
 # a large distinctive payload: interleaved writes would tear it visibly
 form = tuple((tag, i, "x" * 200) for i in range(40))
-path = cache._disk_path(key)
+path = cache.directory / f"{key}.json"
 for n in range(rounds):
-    cache._disk_put(key, form)
+    cache._disk_put(cache.directory, key, form)
     if path.exists():
         payload = json.loads(path.read_bytes().decode("utf-8"))
         assert payload["format"] == CACHE_FORMAT, "foreign entry"
@@ -328,7 +328,7 @@ class TestConcurrentCacheWrites:
 
         monkeypatch.setattr(cache_mod.os, "replace", spy)
         cache = cache_mod.CanonicalFormCache(directory=tmp_path / "cache")
-        cache._disk_put("k", (1, 2))
-        cache._disk_put("k", (3, 4))
+        cache._disk_put(cache.directory, "k", (1, 2))
+        cache._disk_put(cache.directory, "k", (3, 4))
         assert len(set(recorded)) == 2, "every write must use a fresh temp name"
         assert all(str(cache_mod.os.getpid()) in name for name in recorded)

@@ -217,8 +217,9 @@ class TestClockExemption:
         # linting src with the exemption removed flags exactly the sanctioned
         # clock modules: the tracer (span timing), the shard runtime (retry
         # backoff, watchdog joins), the fault injector (stall injection), the
-        # progress emitter (heartbeat throttling/ETAs) and the bench runner
-        # (the warmup/repeat timing harness)
+        # progress emitter (heartbeat throttling/ETAs), the bench runner
+        # (the warmup/repeat timing harness) and the sweep service's
+        # token-bucket rate limiter
         from dataclasses import replace
 
         strict = replace(DEFAULT_CONFIG, clock_modules=frozenset())
@@ -230,6 +231,7 @@ class TestClockExemption:
             str(SRC / "repro" / "obs" / "bench" / "runner.py"),
             str(SRC / "repro" / "engine" / "executors" / "shard.py"),
             str(SRC / "repro" / "engine" / "faults.py"),
+            str(SRC / "repro" / "service" / "jobs.py"),
         }
 
     def test_sanctioned_clock_set_is_exactly_declared(self):
@@ -242,6 +244,7 @@ class TestClockExemption:
                 "repro.obs.bench.runner",
                 "repro.engine.executors.shard",
                 "repro.engine.faults",
+                "repro.service.jobs",
             }
         )
 
@@ -298,9 +301,10 @@ class TestWorkerExemption:
         assert all("random" in f.message for f in findings)
 
     def test_shipped_executors_are_the_only_spawners_in_src(self):
-        # the driver (monitor thread), the shard runtime (watchdog thread)
-        # and the process/socket backends; the inline backend runs on
-        # asyncio and needs no sanction at all
+        # the driver (monitor thread), the shard runtime (watchdog thread),
+        # the process/socket backends, and the sweep service (queue-drain
+        # workers + the threading HTTP front-end); the inline backend runs
+        # on asyncio and needs no sanction at all
         from dataclasses import replace
 
         strict = replace(DEFAULT_CONFIG, worker_modules=frozenset())
@@ -311,6 +315,8 @@ class TestWorkerExemption:
             str(SRC / "repro" / "engine" / "executors" / "shard.py"),
             str(SRC / "repro" / "engine" / "executors" / "process.py"),
             str(SRC / "repro" / "engine" / "executors" / "sockets.py"),
+            str(SRC / "repro" / "service" / "jobs.py"),
+            str(SRC / "repro" / "service" / "server.py"),
         }
 
     def test_sanctioned_worker_set_is_exactly_declared(self):
@@ -322,6 +328,8 @@ class TestWorkerExemption:
                 "repro.engine.executors.shard",
                 "repro.engine.executors.process",
                 "repro.engine.executors.sockets",
+                "repro.service.jobs",
+                "repro.service.server",
             }
         )
 

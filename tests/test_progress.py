@@ -5,7 +5,9 @@ from __future__ import annotations
 import io
 import json
 
-from repro.engine import GridSpec, run_sweep
+import pytest
+
+from repro.engine import CellExecutionError, Fault, FaultPlan, GridSpec, run_sweep
 from repro.obs import NULL_PROGRESS, ProgressEmitter
 from repro.obs.progress import (
     PROGRESS_SCHEMA_VERSION,
@@ -203,6 +205,64 @@ class TestSweepProgress:
         events = read_progress_events(path)
         assert events[0]["resumed"] == len(result.rows)
         assert events[-1]["done"] == len(result.rows)
+
+    def test_all_cells_failed_sweep_closes_with_exact_final_event(self, tmp_path):
+        # a raise-worker fault matching every cell in every round exhausts
+        # the restart budget with nothing computed: the lifecycle must end
+        # in a `final` event (done == 0, failed == cells), not a bare
+        # `aborted` — and exactly one terminal event overall
+        plan = FaultPlan(
+            faults=(Fault(kind="raise-worker", cell="*", attempt=None, times=10_000),)
+        )
+        path = tmp_path / "progress.jsonl"
+        emitter = ProgressEmitter(path=path, interval=0.0)
+        with pytest.raises(CellExecutionError):
+            run_sweep(
+                tiny_grid(),
+                out_dir=tmp_path / "out",
+                faults=plan,
+                use_cache=False,
+                progress=emitter,
+            )
+        events = read_progress_events(path)
+        final = events[-1]
+        assert final["event"] == "final"
+        assert final["done"] == 0
+        assert final["failed"] == final["total"] == 4
+        terminal = [e for e in events if e["event"] in ("final", "aborted")]
+        assert len(terminal) == 1
+
+
+class TestProgressMonitorClamp:
+    def test_monitor_clamps_forged_duplicate_shard_line(self, tmp_path):
+        # count_rows() counts raw non-empty lines, so a duplicated shard
+        # line (a recovered worker double-flushing a cell) once inflated
+        # heartbeats past the grid's cell total; the monitor now clamps
+        from repro.engine import ResultStore
+        from repro.engine.pool import _ProgressMonitor
+
+        out = tmp_path / "out"
+        result = run_sweep(tiny_grid(), out_dir=out)
+        total = len(result.rows)
+        shard = next(out.glob("shard-*.jsonl"))
+        lines = shard.read_text(encoding="utf-8").splitlines()
+        with shard.open("a", encoding="utf-8") as fh:
+            fh.write(lines[0] + "\n")  # the forged duplicate
+        store = ResultStore(out)
+        assert store.count_rows() == total + 1  # the raw count over-reports
+
+        class RecordingEmitter:
+            interval = 0.05
+
+            def __init__(self):
+                self.seen = []
+
+            def update(self, done, **kwargs):
+                self.seen.append(done)
+
+        recorder = RecordingEmitter()
+        _ProgressMonitor(recorder, store, total=total).tick()
+        assert recorder.seen == [total]
 
 
 class TestSweepProgressCLI:

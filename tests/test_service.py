@@ -1,0 +1,351 @@
+"""Tests for the sweep-as-a-service job API (repro.service)."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.engine import GridSpec, smoke_grid
+from repro.obs.progress import read_progress_events
+from repro.service import (
+    Backpressure,
+    ServiceConfig,
+    ServiceServer,
+    SweepService,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def tiny_grid() -> dict:
+    return {"algorithms": ["greedy"], "deltas": [3]}
+
+
+def make_service(tmp_path, **overrides) -> SweepService:
+    defaults = dict(data_dir=tmp_path / "data", progress_interval=0.0)
+    defaults.update(overrides)
+    return SweepService(ServiceConfig(**defaults))
+
+
+def wait_for(predicate, timeout: float = 120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError("condition not reached in time")
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        wait = bucket.acquire()
+        assert wait == pytest.approx(1.0)
+        clock.now += 0.25
+        assert bucket.acquire() == pytest.approx(0.75)
+        clock.now += 1.0
+        assert bucket.acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=1, clock=clock)
+        clock.now += 1000.0
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() > 0.0
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestSubmission:
+    def test_submit_validates_grid_and_tenant(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(ValueError):
+            service.submit({"algorithms": ["no-such-algorithm"]})
+        with pytest.raises(ValueError):
+            service.submit(tiny_grid(), tenant="../escape")
+
+    def test_submit_counts_cells_and_assigns_ids(self, tmp_path):
+        service = make_service(tmp_path)
+        job = service.submit(smoke_grid(), tenant="alice")
+        assert job.id == "job-000001"
+        assert job.state == "queued" and job.cells == 4
+        second = service.submit(tiny_grid())
+        assert second.id == "job-000002"
+        assert second.tenant == "public"  # the default tenant
+        assert [j.id for j in service.jobs(tenant="alice")] == [job.id]
+
+    def test_queue_full_raises_backpressure(self, tmp_path):
+        service = make_service(tmp_path, queue_size=1)  # workers never started
+        service.submit(tiny_grid())
+        with pytest.raises(Backpressure) as info:
+            service.submit(tiny_grid())
+        assert info.value.retry_after > 0
+
+    def test_rate_limit_raises_backpressure_per_tenant(self, tmp_path):
+        service = make_service(tmp_path, rate=0.001, burst=1, queue_size=100)
+        service.submit(tiny_grid(), tenant="alice")
+        with pytest.raises(Backpressure) as info:
+            service.submit(tiny_grid(), tenant="alice")
+        assert info.value.retry_after > 0
+        # an independent tenant still has its own burst
+        service.submit(tiny_grid(), tenant="bob")
+
+
+class TestJobLifecycle:
+    def test_job_runs_to_done_with_progress_and_rows(self, tmp_path):
+        service = make_service(tmp_path)
+        job = service.submit(tiny_grid(), tenant="alice")
+        service.start()
+        try:
+            wait_for(lambda: job.state in ("done", "failed"))
+        finally:
+            service.stop()
+        assert job.state == "done", job.error
+        assert job.rows == job.cells == 1
+        assert job.cache is not None and "disk_evictions" in job.cache
+        rows = service.rows(job.id)
+        serial = api.sweep(GridSpec.from_mapping(tiny_grid()))
+        assert json.dumps(rows, sort_keys=True) == json.dumps(
+            [dict(r) for r in serial.rows], sort_keys=True
+        )
+        progress = service.progress(job.id)
+        kinds = [event["event"] for event in progress["events"]]
+        assert kinds[0] == "start" and kinds[-1] == "final"
+        # incremental tailing from an offset
+        tail = service.progress(job.id, offset=progress["offset"])
+        assert tail["events"] == []
+
+    def test_failed_job_records_error(self, tmp_path):
+        service = make_service(tmp_path)
+        faults = {
+            "format": "repro-fault-plan-v1",
+            "faults": [
+                {"kind": "raise-worker", "cell": "*", "attempt": None, "times": 10_000}
+            ],
+        }
+        job = service.submit(tiny_grid(), faults=faults)
+        service.start()
+        try:
+            wait_for(lambda: job.state in ("done", "failed"))
+        finally:
+            service.stop()
+        assert job.state == "failed"
+        assert "CellExecutionError" in job.error
+        assert service.rows(job.id) is None
+
+    def test_cancel_queued_job_never_runs(self, tmp_path):
+        service = make_service(tmp_path)  # not started: stays queued
+        job = service.submit(tiny_grid())
+        assert service.cancel(job.id) is True
+        assert job.state == "cancelled"
+        service.start()
+        service.stop()
+        assert job.state == "cancelled"
+        assert not (job.directory / "progress.jsonl").exists()
+        # cancelling again is a settled no-op
+        assert service.cancel(job.id) is False
+
+    def test_cancel_mid_stream_flushes_aborted_exactly_once(self, tmp_path):
+        # deterministic mid-stream cancel: the flag is set before the
+        # worker picks the job up, so the sweep opens its event log, emits
+        # `start`, and aborts at the first cancellation checkpoint — the
+        # emitter must flush exactly one `aborted` event on the way out
+        service = make_service(tmp_path)
+        job = service.submit(smoke_grid(), tenant="alice")
+        job.cancel.set()
+        service.start()
+        try:
+            wait_for(lambda: job.state != "queued" and job.state != "running")
+        finally:
+            service.stop()
+        assert job.state == "cancelled"
+        events = read_progress_events(job.directory / "progress.jsonl")
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start"
+        assert kinds.count("aborted") == 1
+        assert kinds[-1] == "aborted"
+        assert "final" not in kinds
+
+
+class TestHTTPService:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        service = make_service(tmp_path)
+        server = ServiceServer(service)
+        server.start()
+        yield server
+        server.stop()
+
+    @staticmethod
+    def request(server, method, path, body=None, headers=None):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            conn.request(
+                method,
+                path,
+                body=json.dumps(body) if body is not None else None,
+                headers=headers or {},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            conn.close()
+
+    def test_two_concurrent_tenants_byte_identical_with_shared_hits(self, server):
+        # the acceptance scenario: the same smoke grid submitted by two
+        # tenants concurrently over HTTP; both must reproduce the serial
+        # CLI sweep byte-for-byte, and the later tenant's sweep must have
+        # deduped canonicalisation through the shared cache tier
+        grid = smoke_grid().as_dict()
+        submitted = {}
+
+        def submit(tenant):
+            status, _, payload = self.request(
+                server,
+                "POST",
+                "/v1/jobs",
+                {"grid": grid},
+                headers={"X-Repro-Tenant": tenant},
+            )
+            assert status == 202, payload
+            submitted[tenant] = payload["id"]
+
+        threads = [
+            threading.Thread(target=submit, args=(tenant,))
+            for tenant in ("alice", "bob")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(submitted) == {"alice", "bob"}
+
+        def both_done():
+            states = [
+                self.request(server, "GET", f"/v1/jobs/{job_id}")[2]["state"]
+                for job_id in submitted.values()
+            ]
+            assert "failed" not in states
+            return all(state == "done" for state in states)
+
+        wait_for(both_done)
+
+        serial = api.sweep(smoke_grid())
+        baseline = json.dumps([dict(r) for r in serial.rows], sort_keys=True)
+        jobs = {}
+        for tenant, job_id in submitted.items():
+            status, _, rows_payload = self.request(
+                server, "GET", f"/v1/jobs/{job_id}/rows"
+            )
+            assert status == 200
+            assert json.dumps(rows_payload["rows"], sort_keys=True) == baseline
+            jobs[tenant] = self.request(server, "GET", f"/v1/jobs/{job_id}")[2]
+
+        # one worker thread drains the queue in order, so whichever job ran
+        # second was fully served by the first job's shared-tier writes
+        second = jobs[max(submitted, key=lambda t: submitted[t])]
+        assert second["cache"]["shared_hits"] > 0
+        assert second["cache"]["hits"] >= second["cache"]["shared_hits"]
+
+        # progress is streamable per job
+        for job_id in submitted.values():
+            _, _, progress = self.request(
+                server, "GET", f"/v1/jobs/{job_id}/progress"
+            )
+            kinds = [event["event"] for event in progress["events"]]
+            assert kinds[0] == "start" and kinds[-1] == "final"
+
+    def test_health_stats_and_job_listing(self, server):
+        status, _, health = self.request(server, "GET", "/v1/healthz")
+        assert status == 200 and health["ok"] is True
+        status, _, payload = self.request(
+            server, "POST", "/v1/jobs", {"grid": tiny_grid(), "tenant": "alice"}
+        )
+        assert status == 202
+        status, _, listing = self.request(server, "GET", "/v1/jobs?tenant=alice")
+        assert status == 200
+        assert [job["id"] for job in listing["jobs"]] == [payload["id"]]
+        assert self.request(server, "GET", "/v1/jobs?tenant=nobody")[2]["jobs"] == []
+
+    def test_error_paths(self, server):
+        assert self.request(server, "GET", "/v1/jobs/job-999999")[0] == 404
+        assert self.request(server, "GET", "/v1/nothing")[0] == 404
+        assert self.request(server, "DELETE", "/v1/jobs/job-999999")[0] == 404
+        status, _, payload = self.request(
+            server, "POST", "/v1/jobs", {"grid": {"algorithms": ["bogus"]}}
+        )
+        assert status == 400 and "invalid submission" in payload["error"]
+        status, _, payload = self.request(
+            server, "POST", "/v1/jobs", {"grid": tiny_grid(), "tenant": "../escape"}
+        )
+        assert status == 400
+
+    def test_rows_conflict_until_done(self, tmp_path):
+        service = make_service(tmp_path)  # workers never started: job stays queued
+        server = ServiceServer(service)
+        server._httpd.timeout = 5
+        thread = threading.Thread(target=server._httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, _, payload = self.request(
+                server, "POST", "/v1/jobs", {"grid": tiny_grid()}
+            )
+            assert status == 202
+            status, _, conflict = self.request(
+                server, "GET", f"/v1/jobs/{payload['id']}/rows"
+            )
+            assert status == 409
+            assert conflict["state"] == "queued"
+            # DELETE cancels the queued job
+            status, _, _ = self.request(
+                server, "DELETE", f"/v1/jobs/{payload['id']}"
+            )
+            assert status == 202
+            status, _, again = self.request(
+                server, "DELETE", f"/v1/jobs/{payload['id']}"
+            )
+            assert status == 409 and again["state"] == "cancelled"
+        finally:
+            server._httpd.shutdown()
+            server._httpd.server_close()
+            thread.join(timeout=5)
+
+    def test_backpressure_is_429_with_retry_after(self, tmp_path):
+        service = make_service(tmp_path, queue_size=1)  # workers never started
+        server = ServiceServer(service)
+        thread = threading.Thread(target=server._httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert self.request(server, "POST", "/v1/jobs", {"grid": tiny_grid()})[0] == 202
+            status, headers, payload = self.request(
+                server, "POST", "/v1/jobs", {"grid": tiny_grid()}
+            )
+            assert status == 429
+            assert "queue full" in payload["error"]
+            assert payload["retry_after"] > 0
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server._httpd.shutdown()
+            server._httpd.server_close()
+            thread.join(timeout=5)
